@@ -1,0 +1,72 @@
+// Ablation — planning horizon (the Greedy-vs-MiniCost mechanism, paper
+// Sec. 3.2): sweeps the discount factor γ (the agent's effective look-ahead)
+// and compares against the 1-day horizons of Greedy (yesterday-informed)
+// and the clairvoyant greedy oracle. γ=0 is the RL degenerate case of a
+// purely myopic learner.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/greedy.hpp"
+#include "trace/synthetic.hpp"
+#include "util/env.hpp"
+
+int main() {
+  using namespace minicost;
+  std::cout << "ablation_horizon: look-ahead depth (gamma) vs greedy\n";
+
+  trace::SyntheticConfig workload;
+  workload.file_count =
+      static_cast<std::size_t>(util::env_int("MINICOST_ABL_FILES", 600));
+  workload.seed = util::bench_seed();
+  const trace::RequestTrace tr = trace::generate_synthetic(workload);
+  const pricing::PricingPolicy prices = benchx::standard_pricing();
+  const benchx::RlEval eval(tr, prices);
+  const auto episodes =
+      static_cast<std::size_t>(util::env_int("MINICOST_ABL_EPISODES", 35000));
+
+  util::Table table({"policy / gamma", "eval cost", "vs optimal"});
+
+  // Greedy reference points.
+  {
+    core::PlanOptions options;
+    options.start_day = tr.days() - 14;
+    options.initial_tiers =
+        core::static_initial_tiers(tr, prices, options.start_day);
+    core::GreedyPolicy greedy;
+    core::ClairvoyantGreedyPolicy oracle;
+    for (auto& [name, policy] :
+         std::vector<std::pair<std::string, core::TieringPolicy*>>{
+             {"Greedy (yesterday)", &greedy},
+             {"Greedy 1-day oracle", &oracle}}) {
+      const double cost = core::run_policy(tr, prices, *policy, options)
+                              .report.grand_total()
+                              .total();
+      table.add_row({name, util::format_money(cost),
+                     util::format_double(cost / eval.optimal_cost(), 4)});
+    }
+  }
+
+  for (double gamma : {0.0, 0.5, 0.9, 0.97}) {
+    rl::A3CConfig config;
+    config.gamma = gamma;
+    rl::A3CAgent agent(config, workload.seed);
+    rl::TrainOptions options;
+    options.episodes = episodes;
+    options.report_every = episodes;
+    agent.train(tr, prices, options);
+    const double cost = eval.cost(agent);
+    table.add_row({"MiniCost gamma=" + util::format_double(gamma, 2),
+                   util::format_money(cost),
+                   util::format_double(cost / eval.optimal_cost(), 4)});
+    std::cout << "  gamma=" << gamma << ": "
+              << util::format_double(cost / eval.optimal_cost(), 4)
+              << "x optimal\n";
+  }
+  benchx::emit("ablation_horizon", "Planning-horizon ablation", table);
+  benchx::expectation(
+      "a myopic agent (gamma=0) cannot amortize tier-change costs and lands "
+      "near or above Greedy; moderate discounting (~0.9) performs best — "
+      "the paper's argument for long-term planning over per-day greed");
+  return 0;
+}

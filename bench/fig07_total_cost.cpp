@@ -1,0 +1,70 @@
+// Figure 7 — "Comparison of total costs": total monetary cost for all test
+// files after 7/14/21/28/35 days, for Hot / Cold / Greedy / MiniCost /
+// Optimal. The paper's headline result: the cost curves order
+// Cold > Hot > Greedy > MiniCost > Optimal at every horizon, with MiniCost
+// closest to the Optimal lower bound.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/greedy.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal.hpp"
+#include "core/rl_policy.hpp"
+
+int main() {
+  using namespace minicost;
+  std::cout << "fig07: total cost vs days (Figure 7)\n";
+  const benchx::Workload workload = benchx::standard_workload();
+  const pricing::PricingPolicy prices = benchx::standard_pricing();
+  const trace::RequestTrace& test = workload.test;
+
+  auto agent = benchx::shared_agent(workload);
+
+  core::PlanOptions options;
+  options.start_day = benchx::eval_start(test);
+  options.initial_tiers =
+      core::static_initial_tiers(test, prices, options.start_day);
+
+  auto hot = core::make_hot_policy();
+  auto cold = core::make_cold_policy();
+  core::GreedyPolicy greedy;
+  core::RlPolicy minicost(*agent);
+  core::OptimalPolicy optimal;
+
+  struct Series {
+    std::string name;
+    core::PlanResult result;
+  };
+  std::vector<Series> series;
+  series.push_back({"Hot", core::run_policy(test, prices, *hot, options)});
+  series.push_back({"Cold", core::run_policy(test, prices, *cold, options)});
+  series.push_back({"Greedy", core::run_policy(test, prices, greedy, options)});
+  series.push_back(
+      {"MiniCost", core::run_policy(test, prices, minicost, options)});
+  series.push_back(
+      {"Optimal", core::run_policy(test, prices, optimal, options)});
+
+  util::Table table({"policy", "7d", "14d", "21d", "28d", "35d",
+                     "35d vs optimal", "optimal-action rate"});
+  const double optimal_total =
+      series.back().result.report.grand_total().total();
+  for (const Series& s : series) {
+    std::vector<std::string> row{s.name};
+    for (std::size_t day : {7u, 14u, 21u, 28u, 35u}) {
+      const std::size_t index = std::min<std::size_t>(day, s.result.report.days()) - 1;
+      row.push_back(util::format_money(s.result.report.cumulative_through(index)));
+    }
+    row.push_back(util::format_double(
+        s.result.report.grand_total().total() / optimal_total, 4));
+    row.push_back(util::format_double(
+        core::action_agreement(s.result.plan, series.back().result.plan), 3));
+    table.add_row(std::move(row));
+  }
+  benchx::emit("fig07", "Figure 7: cumulative total cost for all test files",
+               table);
+  benchx::expectation(
+      "Cold > Hot > Greedy > MiniCost > Optimal at every horizon; MiniCost "
+      "is the online policy closest to the offline Optimal lower bound");
+  return 0;
+}

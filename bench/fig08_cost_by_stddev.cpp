@@ -1,0 +1,77 @@
+// Figure 8 — "Cost per data file by standard deviations of daily request
+// frequencies": the daily monetary cost of each policy broken down by the
+// paper's variability buckets.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "core/greedy.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal.hpp"
+#include "core/rl_policy.hpp"
+#include "trace/analysis.hpp"
+
+int main() {
+  using namespace minicost;
+  std::cout << "fig08: daily cost per variability bucket (Figure 8)\n";
+  const benchx::Workload workload = benchx::standard_workload();
+  const pricing::PricingPolicy prices = benchx::standard_pricing();
+  const trace::RequestTrace& test = workload.test;
+  const trace::VariabilityAnalysis analysis = trace::analyze_variability(test);
+
+  auto agent = benchx::shared_agent(workload);
+
+  core::PlanOptions options;
+  options.start_day = benchx::eval_start(test);
+  options.initial_tiers =
+      core::static_initial_tiers(test, prices, options.start_day);
+  const double days = static_cast<double>(test.days() - options.start_day);
+
+  auto hot = core::make_hot_policy();
+  auto cold = core::make_cold_policy();
+  core::GreedyPolicy greedy;
+  core::RlPolicy minicost(*agent);
+  core::OptimalPolicy optimal;
+
+  struct Row {
+    std::string name;
+    std::vector<core::BucketCost> buckets;
+  };
+  std::vector<Row> rows;
+  for (auto& [name, policy] :
+       std::vector<std::pair<std::string, core::TieringPolicy*>>{
+           {"Hot", hot.get()},
+           {"Cold", cold.get()},
+           {"Greedy", &greedy},
+           {"MiniCost", &minicost},
+           {"Optimal", &optimal}}) {
+    rows.push_back({name, core::cost_by_variability(
+                              analysis,
+                              core::run_policy(test, prices, *policy, options))});
+  }
+
+  util::Table table({"policy", "0-0.1 $/day", "0.1-0.3", "0.3-0.5", "0.5-0.8",
+                     ">0.8", "per-file-day >0.8"});
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name};
+    for (const core::BucketCost& bucket : row.buckets)
+      cells.push_back(
+          util::format_double(bucket.total_cost / days, 5));
+    cells.push_back(util::format_double(row.buckets.back().cost_per_file_day, 7));
+    table.add_row(std::move(cells));
+  }
+  benchx::emit("fig08", "Figure 8: daily cost for all files, per bucket",
+               table);
+
+  util::Table counts({"bucket", "files"});
+  for (const auto& bucket : rows[0].buckets)
+    counts.add_row({bucket.label, util::format_count(bucket.files)});
+  std::cout << counts.to_string();
+  benchx::expectation(
+      "Cold > Hot > Greedy > MiniCost >= Optimal inside every populated "
+      "bucket; per-file cost grows with variability (volatile files carry "
+      "more traffic) once buckets hold enough files — the top two buckets "
+      "of a small test split are sampling-noise dominated, raise "
+      "MINICOST_SCALE to see the trend here");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Microbenchmarks for the Algorithm-2 aggregation machinery: the Ω scan
+// over all groups, and materializing the rewritten trace.
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggregation.hpp"
+#include "trace/synthetic.hpp"
+
+namespace {
+
+using namespace minicost;
+
+const trace::RequestTrace& grouped_trace() {
+  static const trace::RequestTrace tr = [] {
+    trace::SyntheticConfig config;
+    config.file_count = 4000;
+    config.grouped_file_fraction = 0.5;
+    config.seed = 42;
+    return trace::generate_synthetic(config);
+  }();
+  return tr;
+}
+
+void BM_Agg_Coefficient(benchmark::State& state) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  double rdc = 12.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::aggregation_coefficient(
+        azure, pricing::StorageTier::kHot, 4, 0.4, rdc, 7, 0.3));
+    rdc += 1e-9;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Agg_Coefficient);
+
+void BM_Agg_EvaluateAllGroups(benchmark::State& state) {
+  const trace::RequestTrace& tr = grouped_trace();
+  const pricing::PricingPolicy prices =
+      pricing::with_op_price_multiplier(pricing::PricingPolicy::azure_2020(),
+                                        500.0);
+  const core::AggregationConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_groups(tr, prices, config, 0));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(tr.groups().size()));
+}
+BENCHMARK(BM_Agg_EvaluateAllGroups)->Unit(benchmark::kMillisecond);
+
+void BM_Agg_ApplyAggregation(benchmark::State& state) {
+  const trace::RequestTrace& tr = grouped_trace();
+  const pricing::PricingPolicy prices =
+      pricing::with_op_price_multiplier(pricing::PricingPolicy::azure_2020(),
+                                        500.0);
+  const core::AggregationConfig config;
+  const auto evaluations = core::evaluate_groups(tr, prices, config, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::apply_aggregation(tr, evaluations));
+  }
+}
+BENCHMARK(BM_Agg_ApplyAggregation)->Unit(benchmark::kMillisecond);
+
+void BM_Agg_WeeklyController(benchmark::State& state) {
+  const trace::RequestTrace& tr = grouped_trace();
+  const pricing::PricingPolicy prices =
+      pricing::with_op_price_multiplier(pricing::PricingPolicy::azure_2020(),
+                                        500.0);
+  core::AggregationConfig config;
+  for (auto _ : state) {
+    core::AggregationController controller(prices, config);
+    for (std::size_t period = 0; period + 7 <= tr.days(); period += 7)
+      benchmark::DoNotOptimize(controller.on_period_start(tr, period));
+  }
+}
+BENCHMARK(BM_Agg_WeeklyController)->Unit(benchmark::kMillisecond);
+
+}  // namespace

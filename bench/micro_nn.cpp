@@ -1,0 +1,72 @@
+// Microbenchmarks for the neural-network substrate: forward/backward of the
+// paper's actor architecture at several widths, plus optimizer steps.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace minicost;
+
+nn::Network make_net(std::size_t width) {
+  util::Rng rng(1);
+  return nn::build_trunk(14, 14, width, 4, width, 3, rng);
+}
+
+std::vector<double> make_input() {
+  util::Rng rng(2);
+  std::vector<double> input(28);
+  for (double& x : input) x = rng.uniform(0.0, 1.0);
+  return input;
+}
+
+void BM_NN_Forward(benchmark::State& state) {
+  nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> input = make_input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(input));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NN_Forward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NN_ForwardBackward(benchmark::State& state) {
+  nn::Network net = make_net(static_cast<std::size_t>(state.range(0)));
+  const std::vector<double> input = make_input();
+  const std::vector<double> grad{1.0, -0.5, 0.25};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(input));
+    benchmark::DoNotOptimize(net.backward(grad));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NN_ForwardBackward)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_NN_SnapshotLoad(benchmark::State& state) {
+  nn::Network net = make_net(32);
+  for (auto _ : state) {
+    auto params = net.snapshot_parameters();
+    net.load_parameters(params);
+    benchmark::DoNotOptimize(params);
+  }
+}
+BENCHMARK(BM_NN_SnapshotLoad);
+
+void BM_NN_OptimizerStep(benchmark::State& state) {
+  nn::Network net = make_net(32);
+  nn::Sgd opt(0.005, 0.9);
+  std::vector<double> params = net.snapshot_parameters();
+  std::vector<double> grads(params.size(), 0.001);
+  for (auto _ : state) {
+    opt.step(params, grads);
+    benchmark::DoNotOptimize(params.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(params.size()));
+}
+BENCHMARK(BM_NN_OptimizerStep);
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Section 1/3 price quotes — self-check of the pricing presets against the
+// numbers the paper states, plus the derived per-day cost structure the
+// other experiments rely on.
+
+#include <iostream>
+
+#include "common.hpp"
+#include "sim/cost_model.hpp"
+
+int main() {
+  using namespace minicost;
+  std::cout << "pricing_table: preset self-check\n";
+  const pricing::PricingPolicy azure = benchx::standard_pricing();
+  azure.check_tier_monotonicity();
+
+  util::Table quotes({"quantity", "paper quote", "preset value"});
+  quotes.add_row({"hot reads per 10k ops (US West)", "$0.0044",
+                  util::format_double(
+                      azure.tier(pricing::StorageTier::kHot).read_per_10k_ops,
+                      4)});
+  quotes.add_row({"cool reads per 10k ops", "$0.01",
+                  util::format_double(
+                      azure.tier(pricing::StorageTier::kCool).read_per_10k_ops,
+                      4)});
+  benchx::emit("pricing_quotes", "Paper price quotes vs preset", quotes);
+
+  util::Table tiers({"tier", "storage $/GB-mo", "read $/10k", "write $/10k",
+                     "read $/GB", "write $/GB", "$/day @100MB idle"});
+  for (pricing::StorageTier t : pricing::all_tiers()) {
+    const pricing::TierPrice& p = azure.tier(t);
+    tiers.add_row(
+        {std::string(pricing::tier_name(t)),
+         util::format_double(p.storage_gb_month, 5),
+         util::format_double(p.read_per_10k_ops, 4),
+         util::format_double(p.write_per_10k_ops, 4),
+         util::format_double(p.read_per_gb, 4),
+         util::format_double(p.write_per_gb, 4),
+         util::format_double(azure.storage_cost_per_day(t, 100.0 / 1024.0), 7)});
+  }
+  benchx::emit("pricing_tiers", "Azure-2020 preset price sheet", tiers);
+
+  util::Table crossovers({"boundary", "reads/day @100MB"});
+  crossovers.add_row(
+      {"hot vs cool",
+       util::format_double(
+           sim::tier_crossover_reads(azure, pricing::StorageTier::kHot,
+                                     pricing::StorageTier::kCool,
+                                     100.0 / 1024.0, 0.02),
+           3)});
+  crossovers.add_row(
+      {"cool vs archive",
+       util::format_double(
+           sim::tier_crossover_reads(azure, pricing::StorageTier::kCool,
+                                     pricing::StorageTier::kArchive,
+                                     100.0 / 1024.0, 0.02),
+           3)});
+  benchx::emit("pricing_crossovers", "Tier break-even request rates",
+               crossovers);
+  benchx::expectation(
+      "the quoted op prices match the paper verbatim; storage gets cheaper "
+      "and access pricier toward colder tiers, with break-evens inside the "
+      "workload's popularity range (that is what makes tiering a decision)");
+  return 0;
+}

@@ -1,0 +1,191 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace minicost::core {
+namespace {
+
+/// Storage price of one GB in `tier` over a period of `days`.
+double storage_price_per_period(const pricing::PricingPolicy& pricing,
+                                pricing::StorageTier tier, std::size_t days) {
+  return pricing.storage_cost_per_day(tier, 1.0) * static_cast<double>(days);
+}
+
+double mean_concurrent_rate(const trace::CoRequestGroup& group,
+                            std::size_t period_start, std::size_t period_days,
+                            std::size_t trace_days) {
+  const std::size_t end = std::min(trace_days, period_start + period_days);
+  if (period_start >= end) return 0.0;
+  const std::span<const double> window(
+      group.concurrent_reads.data() + period_start, end - period_start);
+  return stats::mean(window);
+}
+
+}  // namespace
+
+double aggregation_coefficient(const pricing::PricingPolicy& pricing,
+                               pricing::StorageTier tier, std::size_t n,
+                               double sum_size_gb, double rdc_per_day,
+                               std::size_t period_days,
+                               double writes_per_day) {
+  if (n < 2)
+    throw std::invalid_argument("aggregation_coefficient: need n >= 2 files");
+  if (sum_size_gb <= 0.0)
+    throw std::invalid_argument("aggregation_coefficient: non-positive size");
+  const double u_rf = pricing.read_op_price(tier);
+  if (u_rf <= 0.0) return -1.0;  // operations are free: never beneficial
+  // Ω = saving / (u_rf · ΣD): same sign as the saving, same scale as the
+  // paper's Eq. (16) when writes_per_day == 0.
+  return aggregation_saving(pricing, tier, n, sum_size_gb, rdc_per_day,
+                            period_days, writes_per_day) /
+         (u_rf * sum_size_gb);
+}
+
+double aggregation_saving(const pricing::PricingPolicy& pricing,
+                          pricing::StorageTier tier, std::size_t n,
+                          double sum_size_gb, double rdc_per_day,
+                          std::size_t period_days, double writes_per_day) {
+  const double u_rf = pricing.read_op_price(tier);
+  const double u_p = storage_price_per_period(pricing, tier, period_days);
+  const double rdc_period = rdc_per_day * static_cast<double>(period_days);
+  const double write_cost =
+      pricing.write_cost(tier, writes_per_day, sum_size_gb) *
+      static_cast<double>(period_days);
+  return static_cast<double>(n - 1) * rdc_period * u_rf -
+         u_p * sum_size_gb - write_cost;
+}
+
+std::vector<GroupEvaluation> evaluate_groups(
+    const trace::RequestTrace& trace, const pricing::PricingPolicy& pricing,
+    const AggregationConfig& config, std::size_t period_start) {
+  std::vector<GroupEvaluation> evaluations;
+  evaluations.reserve(trace.groups().size());
+  const std::size_t period_end =
+      std::min(trace.days(), period_start + config.period_days);
+  for (std::size_t g = 0; g < trace.groups().size(); ++g) {
+    const trace::CoRequestGroup& group = trace.groups()[g];
+    double sum_size = 0.0;
+    double writes_per_day = 0.0;
+    for (trace::FileId m : group.members) {
+      sum_size += trace.file(m).size_gb;
+      if (config.account_replica_writes && period_end > period_start) {
+        const auto& w = trace.file(m).writes;
+        for (std::size_t t = period_start; t < period_end; ++t)
+          writes_per_day += w[t];
+      }
+    }
+    if (period_end > period_start)
+      writes_per_day /= static_cast<double>(period_end - period_start);
+    const double rdc = mean_concurrent_rate(group, period_start,
+                                            config.period_days, trace.days());
+    GroupEvaluation eval;
+    eval.group_index = g;
+    eval.omega = aggregation_coefficient(pricing, config.replica_tier,
+                                         group.members.size(), sum_size, rdc,
+                                         config.period_days, writes_per_day);
+    eval.saving_per_period = aggregation_saving(
+        pricing, config.replica_tier, group.members.size(), sum_size, rdc,
+        config.period_days, writes_per_day);
+    evaluations.push_back(eval);
+  }
+  std::sort(evaluations.begin(), evaluations.end(),
+            [](const GroupEvaluation& a, const GroupEvaluation& b) {
+              return a.omega > b.omega;
+            });
+  for (std::size_t rank = 0;
+       rank < evaluations.size() && rank < config.top_psi; ++rank) {
+    if (evaluations[rank].omega > 0.0) evaluations[rank].selected = true;
+  }
+  return evaluations;
+}
+
+trace::RequestTrace apply_aggregation(
+    const trace::RequestTrace& trace,
+    const std::vector<GroupEvaluation>& evaluations,
+    std::vector<trace::FileId>* replica_ids) {
+  trace::RequestTrace result = trace;  // deep copy
+  auto& files = result.mutable_files();
+  const std::size_t days = trace.days();
+
+  std::vector<bool> consumed(trace.groups().size(), false);
+  for (const GroupEvaluation& eval : evaluations) {
+    if (!eval.selected) continue;
+    const trace::CoRequestGroup& group = trace.groups()[eval.group_index];
+    consumed[eval.group_index] = true;
+
+    trace::FileRecord replica;
+    replica.name = "aggregate";
+    replica.reads = group.concurrent_reads;
+    replica.writes.assign(days, 0.0);
+    replica.size_gb = 0.0;
+    for (trace::FileId m : group.members) {
+      const trace::FileRecord& member = trace.file(m);
+      replica.name += "+" + member.name;
+      replica.size_gb += member.size_gb;
+      for (std::size_t t = 0; t < days; ++t) {
+        replica.writes[t] += member.writes[t];
+        // The concurrent requests are now served by the replica.
+        files[m].reads[t] =
+            std::max(0.0, files[m].reads[t] - group.concurrent_reads[t]);
+      }
+    }
+    if (replica_ids)
+      replica_ids->push_back(static_cast<trace::FileId>(files.size()));
+    files.push_back(std::move(replica));
+  }
+
+  // Drop aggregated groups from the result (their concurrency is absorbed).
+  std::vector<trace::CoRequestGroup> remaining;
+  for (std::size_t g = 0; g < trace.groups().size(); ++g) {
+    if (!consumed[g]) remaining.push_back(trace.groups()[g]);
+  }
+  result.mutable_groups() = std::move(remaining);
+  result.validate();
+  return result;
+}
+
+AggregationController::AggregationController(
+    const pricing::PricingPolicy& pricing, AggregationConfig config)
+    : pricing_(pricing), config_(config) {}
+
+const std::vector<std::size_t>& AggregationController::on_period_start(
+    const trace::RequestTrace& trace, std::size_t period_start) {
+  if (negative_streak_.size() != trace.groups().size())
+    negative_streak_.assign(trace.groups().size(), 0);
+
+  const std::vector<GroupEvaluation> evaluations =
+      evaluate_groups(trace, pricing_, config_, period_start);
+
+  std::vector<bool> was_active(trace.groups().size(), false);
+  for (std::size_t g : active_) was_active[g] = true;
+
+  std::vector<std::size_t> next;
+  for (const GroupEvaluation& eval : evaluations) {
+    const std::size_t g = eval.group_index;
+    if (eval.omega < 0.0) {
+      ++negative_streak_[g];
+    } else {
+      negative_streak_[g] = 0;
+    }
+    if (eval.selected) {
+      // Newly admitted or still profitable: (re)activate.
+      next.push_back(g);
+    } else if (was_active[g] &&
+               negative_streak_[g] < config_.eviction_periods) {
+      // Not in this period's top-Ψ but not yet persistently unprofitable:
+      // the replica already exists, keep it (Algorithm 2 only deletes after
+      // a long-term negative Ω).
+      next.push_back(g);
+    } else if (was_active[g]) {
+      ++evictions_;
+    }
+  }
+  std::sort(next.begin(), next.end());
+  active_ = std::move(next);
+  return active_;
+}
+
+}  // namespace minicost::core

@@ -1,0 +1,50 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace minicost::core {
+
+double action_agreement(const sim::HorizonPlan& candidate,
+                        const sim::HorizonPlan& reference) {
+  if (candidate.size() != reference.size())
+    throw std::invalid_argument("action_agreement: window mismatch");
+  std::size_t total = 0, matched = 0;
+  for (std::size_t t = 0; t < candidate.size(); ++t) {
+    if (candidate[t].size() != reference[t].size())
+      throw std::invalid_argument("action_agreement: file-count mismatch");
+    for (std::size_t i = 0; i < candidate[t].size(); ++i) {
+      ++total;
+      if (candidate[t][i] == reference[t][i]) ++matched;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(matched) / static_cast<double>(total);
+}
+
+std::vector<BucketCost> cost_by_variability(
+    const trace::VariabilityAnalysis& analysis, const PlanResult& result) {
+  const auto& per_file = result.report.per_file_totals();
+  const std::size_t days = result.report.days();
+  std::vector<BucketCost> buckets;
+  buckets.reserve(analysis.bucket_members.size());
+  for (std::size_t b = 0; b < analysis.bucket_members.size(); ++b) {
+    BucketCost bucket;
+    bucket.label = analysis.histogram.label(b);
+    bucket.files = analysis.bucket_members[b].size();
+    for (trace::FileId id : analysis.bucket_members[b])
+      bucket.total_cost += per_file.at(id);
+    if (bucket.files > 0 && days > 0)
+      bucket.cost_per_file_day =
+          bucket.total_cost / static_cast<double>(bucket.files) /
+          static_cast<double>(days);
+    buckets.push_back(std::move(bucket));
+  }
+  return buckets;
+}
+
+double normalized(double cost, double reference_cost) {
+  if (reference_cost == 0.0)
+    throw std::invalid_argument("normalized: zero reference cost");
+  return cost / reference_cost;
+}
+
+}  // namespace minicost::core

@@ -1,0 +1,37 @@
+#pragma once
+// Evaluation metrics for policy comparisons: the optimal-action rate of
+// Figures 9-11 and the per-variability-bucket cost breakdown of Figure 8.
+
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "trace/analysis.hpp"
+
+namespace minicost::core {
+
+/// Fraction of (file, day) decisions where `candidate` picked the same tier
+/// as `reference` (the paper's "optimal action rate": "the ratio between
+/// the actions made by the RL agent and the actions from Optimal").
+/// Plans must cover the same window; throws std::invalid_argument otherwise.
+double action_agreement(const sim::HorizonPlan& candidate,
+                        const sim::HorizonPlan& reference);
+
+/// Per-bucket total cost of a plan result (Figure 8): buckets are the
+/// paper's variability buckets of the evaluated trace window; entry i is
+/// the summed cost of bucket i's files over the window, divided by `days`
+/// when daily == true.
+struct BucketCost {
+  std::string label;
+  std::uint64_t files = 0;
+  double total_cost = 0.0;
+  double cost_per_file_day = 0.0;
+};
+std::vector<BucketCost> cost_by_variability(
+    const trace::VariabilityAnalysis& analysis, const PlanResult& result);
+
+/// Convenience: costs normalized so `reference_cost` maps to 1.0 (the
+/// paper's Figure 7 normalizes by Optimal's 7-day cost).
+double normalized(double cost, double reference_cost);
+
+}  // namespace minicost::core

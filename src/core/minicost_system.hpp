@@ -1,0 +1,81 @@
+#pragma once
+// MiniCost, end to end: the facade a cloud customer embeds. Owns the
+// pricing policy, the A3C agent, and the evaluation harness; reproduces the
+// paper's full protocol:
+//   1. split the trace 80/20 into train and test file sets (Sec. 6.1);
+//   2. train the agent on the training files;
+//   3. every day, run the trained agent once over all (test) files and
+//      re-tier them (Sec. 5.1);
+//   4. optionally enable the concurrent-request aggregation enhancement
+//      (Sec. 5.2) with weekly re-evaluation;
+//   5. compare against the Hot / Cold / Greedy / Optimal baselines.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/aggregation.hpp"
+#include "core/metrics.hpp"
+#include "core/optimal.hpp"
+#include "core/planner.hpp"
+#include "pricing/policy.hpp"
+#include "rl/a3c.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::core {
+
+struct MiniCostConfig {
+  pricing::PricingPolicy pricing = pricing::PricingPolicy::azure_2020();
+  rl::A3CConfig agent;
+  std::size_t train_episodes = 3000;
+  double train_fraction = 0.8;  ///< paper: 80% train / 20% test
+  std::uint64_t seed = 42;
+  /// Aggregation enhancement ("MiniCost w/ E"); disabled when nullopt.
+  std::optional<AggregationConfig> aggregation;
+};
+
+struct PolicyOutcome {
+  PlanResult result;
+  double total_cost = 0.0;
+  double optimal_action_rate = 0.0;  ///< agreement with Optimal's plan
+};
+
+struct EvaluationReport {
+  /// Keyed by policy name (Hot, Cold, Greedy, MiniCost, Optimal, and
+  /// MiniCost w/E when aggregation is enabled).
+  std::map<std::string, PolicyOutcome> outcomes;
+  std::size_t start_day = 0;
+  std::size_t end_day = 0;
+  std::size_t files = 0;
+};
+
+class MiniCostSystem {
+ public:
+  explicit MiniCostSystem(MiniCostConfig config);
+
+  const MiniCostConfig& config() const noexcept { return config_; }
+  rl::A3CAgent& agent() noexcept { return agent_; }
+
+  /// Trains the agent on `trace` (typically the training split).
+  void train(const trace::RequestTrace& trace,
+             const rl::TrainOptions& options = {});
+
+  /// Runs all policies over [start_day, end_day) of `trace` and reports
+  /// totals, per-policy plans, and optimal-action rates. Initial tiers come
+  /// from static_initial_tiers over [0, start_day).
+  EvaluationReport evaluate(const trace::RequestTrace& trace,
+                            std::size_t start_day, std::size_t end_day,
+                            bool include_aggregated = true);
+
+  /// One day of production operation: decide tiers for every file of
+  /// `trace` on `day` given `current` tiers (the deployed Sec. 5.1 loop).
+  sim::DayPlan plan_day(const trace::RequestTrace& trace, std::size_t day,
+                        const std::vector<pricing::StorageTier>& current);
+
+ private:
+  MiniCostConfig config_;
+  rl::A3CAgent agent_;
+};
+
+}  // namespace minicost::core

@@ -1,0 +1,196 @@
+#include "core/multicloud.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "core/optimal.hpp"
+#include "sim/cost_model.hpp"
+#include "stats/descriptive.hpp"
+#include "util/thread_pool.hpp"
+
+namespace minicost::core {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+MultiCloudPlanner::MultiCloudPlanner(pricing::PriceCatalog catalog,
+                                     MultiCloudConfig config)
+    : catalog_(std::move(catalog)), config_(config) {
+  if (catalog_.size() == 0)
+    throw std::invalid_argument("MultiCloudPlanner: empty catalog");
+  if (config.cross_dc_transfer_per_gb < 0.0)
+    throw std::invalid_argument("MultiCloudPlanner: negative transfer price");
+}
+
+std::size_t MultiCloudPlanner::placement_count() const noexcept {
+  return catalog_.size() * pricing::kTierCount;
+}
+
+Placement MultiCloudPlanner::placement_from_index(std::size_t index) const {
+  if (index >= placement_count())
+    throw std::out_of_range("MultiCloudPlanner: placement index");
+  return Placement{index / pricing::kTierCount,
+                   pricing::tier_from_index(index % pricing::kTierCount)};
+}
+
+std::size_t MultiCloudPlanner::placement_index(const Placement& placement) const {
+  if (placement.datacenter >= catalog_.size())
+    throw std::out_of_range("MultiCloudPlanner: datacenter index");
+  return placement.datacenter * pricing::kTierCount +
+         pricing::tier_index(placement.tier);
+}
+
+double MultiCloudPlanner::day_cost(const Placement& placement, double reads,
+                                   double writes, double gb) const {
+  const pricing::PricingPolicy& policy =
+      catalog_.at(placement.datacenter).policy;
+  return sim::file_day_cost_no_change(policy, placement.tier, reads, writes, gb)
+      .total();
+}
+
+double MultiCloudPlanner::move_cost(const Placement& from, const Placement& to,
+                                    double gb) const {
+  if (from == to) return 0.0;
+  double cost = 0.0;
+  if (from.datacenter != to.datacenter) {
+    // Bytes leave one provider and land in another; the destination's
+    // tier-change price models the placement write.
+    cost += config_.cross_dc_transfer_per_gb * gb;
+    cost += catalog_.at(to.datacenter).policy.tier_change_per_gb() * gb;
+  } else if (from.tier != to.tier) {
+    cost += catalog_.at(to.datacenter)
+                .policy.change_cost(from.tier, to.tier, gb);
+  }
+  return cost;
+}
+
+Placement MultiCloudPlanner::best_static_placement(double avg_reads,
+                                                   double avg_writes,
+                                                   double gb) const {
+  Placement best;
+  double best_cost = kInf;
+  for (std::size_t i = 0; i < placement_count(); ++i) {
+    const Placement candidate = placement_from_index(i);
+    const double cost = day_cost(candidate, avg_reads, avg_writes, gb);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+MultiCloudPlanner::Sequence MultiCloudPlanner::optimal_sequence(
+    const trace::FileRecord& file, std::size_t start, std::size_t end,
+    const Placement& initial, bool charge_initial) const {
+  if (start >= end || end > file.reads.size())
+    throw std::invalid_argument("MultiCloudPlanner: bad day window");
+  const std::size_t days = end - start;
+  const std::size_t states = placement_count();
+
+  std::vector<std::vector<double>> dp(days, std::vector<double>(states, kInf));
+  std::vector<std::vector<std::size_t>> parent(
+      days, std::vector<std::size_t>(states, 0));
+
+  for (std::size_t s = 0; s < states; ++s) {
+    const Placement p = placement_from_index(s);
+    double cost = day_cost(p, file.reads[start], file.writes[start], file.size_gb);
+    if (charge_initial) cost += move_cost(initial, p, file.size_gb);
+    dp[0][s] = cost;
+  }
+  for (std::size_t t = 1; t < days; ++t) {
+    const std::size_t day = start + t;
+    for (std::size_t s = 0; s < states; ++s) {
+      const Placement p = placement_from_index(s);
+      const double base =
+          day_cost(p, file.reads[day], file.writes[day], file.size_gb);
+      for (std::size_t prev = 0; prev < states; ++prev) {
+        const double candidate =
+            dp[t - 1][prev] +
+            move_cost(placement_from_index(prev), p, file.size_gb);
+        if (candidate + base < dp[t][s]) {
+          dp[t][s] = candidate + base;
+          parent[t][s] = prev;
+        }
+      }
+    }
+  }
+
+  Sequence result;
+  result.placements.resize(days);
+  std::size_t s = 0;
+  result.cost = kInf;
+  for (std::size_t k = 0; k < states; ++k) {
+    if (dp[days - 1][k] < result.cost) {
+      result.cost = dp[days - 1][k];
+      s = k;
+    }
+  }
+  for (std::size_t t = days; t-- > 0;) {
+    result.placements[t] = placement_from_index(s);
+    s = parent[t][s];
+  }
+  return result;
+}
+
+double MultiCloudPlanner::sequence_cost(const trace::FileRecord& file,
+                                        const std::vector<Placement>& placements,
+                                        const Placement& initial,
+                                        bool charge_initial) const {
+  double total = 0.0;
+  Placement previous = initial;
+  for (std::size_t t = 0; t < placements.size(); ++t) {
+    total += day_cost(placements[t], file.reads.at(t), file.writes.at(t),
+                      file.size_gb);
+    if (t > 0 || charge_initial)
+      total += move_cost(previous, placements[t], file.size_gb);
+    previous = placements[t];
+  }
+  return total;
+}
+
+MultiCloudPlanner::Comparison MultiCloudPlanner::compare(
+    const trace::RequestTrace& trace, std::size_t start,
+    std::size_t end) const {
+  Comparison comparison;
+
+  // Best single-DC bill: per datacenter, every file runs the single-DC
+  // tier DP; take the cheapest datacenter overall.
+  comparison.best_single_dc_cost = kInf;
+  for (std::size_t dc = 0; dc < catalog_.size(); ++dc) {
+    const pricing::PricingPolicy& policy = catalog_.at(dc).policy;
+    std::vector<double> costs(trace.file_count(), 0.0);
+    util::ThreadPool::shared().parallel_for(
+        0, trace.file_count(), [&](std::size_t i) {
+          costs[i] = core::optimal_sequence(
+                         policy, trace.file(static_cast<trace::FileId>(i)),
+                         start, end, pricing::StorageTier::kHot,
+                         /*charge_initial=*/false)
+                         .cost;
+        });
+    const double total = stats::sum(costs);
+    if (total < comparison.best_single_dc_cost) {
+      comparison.best_single_dc_cost = total;
+      comparison.best_single_dc = dc;
+    }
+  }
+
+  // Multi-cloud bill: joint (datacenter, tier) DP per file, starting free
+  // from its best static placement.
+  std::vector<double> costs(trace.file_count(), 0.0);
+  util::ThreadPool::shared().parallel_for(
+      0, trace.file_count(), [&](std::size_t i) {
+        const trace::FileRecord& f = trace.file(static_cast<trace::FileId>(i));
+        const Placement initial = best_static_placement(
+            stats::mean(f.reads), stats::mean(f.writes), f.size_gb);
+        costs[i] = optimal_sequence(f, start, end, initial,
+                                    /*charge_initial=*/false)
+                       .cost;
+      });
+  comparison.multi_cloud_cost = stats::sum(costs);
+  return comparison;
+}
+
+}  // namespace minicost::core

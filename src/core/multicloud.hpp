@@ -1,0 +1,94 @@
+#pragma once
+// Multi-datacenter placement — the paper's Sec. 4.1/4.2.1 generalization:
+// files "are distributed among one or multiple CSPs' datacenters denoted by
+// the set Ds. Each datacenter has its own pricing policy", and "Γ can be
+// easily adjusted for multiple CSPs since multiple CSPs have more ... types".
+//
+// A placement is a (datacenter, tier) pair; the joint action space has
+// |Ds| · Γ options per file per day. Moving between tiers inside a
+// datacenter costs the policy's tier-change price; moving bytes across
+// datacenters costs an egress price per GB on top. Costs stay separable per
+// file, so the offline optimum is still an exact per-file DP — now over
+// |Ds|·Γ states.
+
+#include <string>
+#include <vector>
+
+#include "pricing/catalog.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::core {
+
+/// One (datacenter, tier) slot.
+struct Placement {
+  std::size_t datacenter = 0;
+  pricing::StorageTier tier = pricing::StorageTier::kHot;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+};
+
+struct MultiCloudConfig {
+  /// $ per GB moved between datacenters (egress + ingest), on top of the
+  /// destination's tier-change price.
+  double cross_dc_transfer_per_gb = 0.02;
+};
+
+class MultiCloudPlanner {
+ public:
+  /// The catalog is copied; it must contain at least one datacenter.
+  MultiCloudPlanner(pricing::PriceCatalog catalog, MultiCloudConfig config = {});
+
+  const pricing::PriceCatalog& catalog() const noexcept { return catalog_; }
+  std::size_t placement_count() const noexcept;
+
+  /// Index <-> placement bijection over the |Ds|·Γ joint space.
+  Placement placement_from_index(std::size_t index) const;
+  std::size_t placement_index(const Placement& placement) const;
+
+  /// Cost of one file-day in `placement` (no movement charges).
+  double day_cost(const Placement& placement, double reads, double writes,
+                  double gb) const;
+
+  /// One-time cost of moving a file of `gb` from one placement to another;
+  /// zero when they are equal.
+  double move_cost(const Placement& from, const Placement& to, double gb) const;
+
+  /// Cheapest static placement for an average usage profile.
+  Placement best_static_placement(double avg_reads, double avg_writes,
+                                  double gb) const;
+
+  /// Exact per-file optimum over days [start, end): DP over placements.
+  struct Sequence {
+    std::vector<Placement> placements;
+    double cost = 0.0;
+  };
+  Sequence optimal_sequence(const trace::FileRecord& file, std::size_t start,
+                            std::size_t end, const Placement& initial,
+                            bool charge_initial = true) const;
+
+  /// Bills a concrete per-day placement sequence for one file (the
+  /// verification mirror of optimal_sequence).
+  double sequence_cost(const trace::FileRecord& file,
+                       const std::vector<Placement>& placements,
+                       const Placement& initial,
+                       bool charge_initial = true) const;
+
+  /// Whole-trace summary: optimal multi-cloud bill vs the best single-DC
+  /// bill (every file confined to one datacenter, chosen globally).
+  struct Comparison {
+    double best_single_dc_cost = 0.0;
+    std::size_t best_single_dc = 0;
+    double multi_cloud_cost = 0.0;
+    double saving() const noexcept {
+      return best_single_dc_cost - multi_cloud_cost;
+    }
+  };
+  Comparison compare(const trace::RequestTrace& trace, std::size_t start,
+                     std::size_t end) const;
+
+ private:
+  pricing::PriceCatalog catalog_;
+  MultiCloudConfig config_;
+};
+
+}  // namespace minicost::core

@@ -1,0 +1,52 @@
+#pragma once
+// The planning/evaluation harness: runs a TieringPolicy day by day over a
+// billing window of the trace, bills the resulting plan with the simulator,
+// and measures decision latency (the Figure 12 "computing overhead").
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace minicost::core {
+
+struct PlanOptions {
+  std::size_t start_day = 0;  ///< first billed/decided day (inclusive)
+  std::size_t end_day = 0;    ///< exclusive; 0 = trace end
+  /// Tier each file holds entering the window. Empty = every file starts in
+  /// `default_initial_tier`.
+  std::vector<pricing::StorageTier> initial_tiers;
+  pricing::StorageTier default_initial_tier = pricing::StorageTier::kHot;
+  /// Charge Cc when day `start_day`'s assignment differs from the initial
+  /// tier (true: the window continues an existing deployment).
+  bool charge_initial_placement = true;
+};
+
+struct PlanResult {
+  std::string policy_name;
+  sim::HorizonPlan plan;      ///< plan[t] covers absolute day start_day + t
+  sim::BillingReport report;  ///< billed over the window only
+  double decision_seconds = 0.0;    ///< total wall-clock spent in decide()
+  std::vector<double> day_seconds;  ///< per-day decision wall-clock
+  std::size_t start_day = 0;
+};
+
+/// Runs `policy` over days [options.start_day, options.end_day) of `trace`
+/// and bills the plan. Throws std::invalid_argument on bad windows.
+PlanResult run_policy(const trace::RequestTrace& trace,
+                      const pricing::PricingPolicy& pricing,
+                      TieringPolicy& policy, const PlanOptions& options);
+
+/// Initial assignment the paper's customer would start from: every file in
+/// its cheapest static tier judged on its average usage over days
+/// [0, observation_days). By default only hot/cool are considered — the
+/// paper's baseline customer "assigns all data files as either hot or cold,
+/// whichever yields a lower cost" (Sec. 3.1); archive placement is exactly
+/// what the optimizing policies then discover.
+std::vector<pricing::StorageTier> static_initial_tiers(
+    const trace::RequestTrace& trace, const pricing::PricingPolicy& pricing,
+    std::size_t observation_days, bool include_archive = false);
+
+}  // namespace minicost::core

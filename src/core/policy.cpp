@@ -1,0 +1,22 @@
+#include "core/policy.hpp"
+
+namespace minicost::core {
+
+std::string AlwaysTierPolicy::name() const {
+  switch (tier_) {
+    case pricing::StorageTier::kHot: return "Hot";
+    case pricing::StorageTier::kCool: return "Cold";
+    case pricing::StorageTier::kArchive: return "Archive";
+  }
+  return "Always?";
+}
+
+std::unique_ptr<TieringPolicy> make_hot_policy() {
+  return std::make_unique<AlwaysTierPolicy>(pricing::StorageTier::kHot);
+}
+
+std::unique_ptr<TieringPolicy> make_cold_policy() {
+  return std::make_unique<AlwaysTierPolicy>(pricing::StorageTier::kCool);
+}
+
+}  // namespace minicost::core

@@ -1,0 +1,16 @@
+#include "core/rl_policy.hpp"
+
+namespace minicost::core {
+
+pricing::StorageTier RlPolicy::decide(const PlanContext& context,
+                                      trace::FileId file, std::size_t day,
+                                      pricing::StorageTier current) {
+  const trace::FileRecord& f = context.trace.file(file);
+  const std::size_t h = agent_.featurizer().history_len();
+  if (day < h) return current;  // not enough history yet: stay put
+  agent_.featurizer().encode_into(f, day, current, scratch_);
+  const rl::Action action = agent_.act(scratch_, greedy_);
+  return pricing::tier_from_index(action);
+}
+
+}  // namespace minicost::core

@@ -1,0 +1,33 @@
+#pragma once
+// MiniCost's online policy: the trained A3C agent deployed as a
+// TieringPolicy (paper Sec. 5.1: "After the DQN is trained, we deploy the
+// trained DQN in the agent server... Everyday, the trained agent runs one
+// time for all data files"). Strictly online — only the request history up
+// to (not including) the decision day is featurized.
+
+#include "core/policy.hpp"
+#include "rl/a3c.hpp"
+
+namespace minicost::core {
+
+class RlPolicy final : public TieringPolicy {
+ public:
+  /// Borrows the agent (must outlive the policy). greedy=true uses the
+  /// argmax of π (deployment mode); false samples (training-style).
+  explicit RlPolicy(rl::A3CAgent& agent, bool greedy = true)
+      : agent_(agent), greedy_(greedy) {}
+
+  std::string name() const override { return "MiniCost"; }
+  Knowledge knowledge() const noexcept override { return Knowledge::kHistory; }
+
+  pricing::StorageTier decide(const PlanContext& context, trace::FileId file,
+                              std::size_t day,
+                              pricing::StorageTier current) override;
+
+ private:
+  rl::A3CAgent& agent_;
+  bool greedy_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace minicost::core

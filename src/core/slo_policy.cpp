@@ -1,0 +1,40 @@
+#include "core/slo_policy.hpp"
+
+namespace minicost::core {
+
+SloConstrainedPolicy::SloConstrainedPolicy(TieringPolicy& inner,
+                                           sim::LatencyModel latency,
+                                           std::vector<double> max_p99_ms,
+                                           double default_max_p99_ms)
+    : inner_(inner),
+      latency_(latency),
+      max_p99_ms_(std::move(max_p99_ms)),
+      default_max_p99_ms_(default_max_p99_ms) {}
+
+void SloConstrainedPolicy::prepare(const PlanContext& context) {
+  inner_.prepare(context);
+}
+
+double SloConstrainedPolicy::ceiling_for(trace::FileId file) const {
+  if (file < max_p99_ms_.size()) return max_p99_ms_[file];
+  return default_max_p99_ms_;
+}
+
+pricing::StorageTier SloConstrainedPolicy::decide(const PlanContext& context,
+                                                  trace::FileId file,
+                                                  std::size_t day,
+                                                  pricing::StorageTier current) {
+  const pricing::StorageTier wanted = inner_.decide(context, file, day, current);
+  const double ceiling = ceiling_for(file);
+  if (latency_.satisfies(wanted, ceiling)) return wanted;
+  ++overrides_;
+  // Warm up just far enough: walk from the wanted tier toward hot until the
+  // SLO holds (tier indices order hot < cool < archive).
+  for (std::size_t i = pricing::tier_index(wanted); i-- > 0;) {
+    const auto candidate = pricing::tier_from_index(i);
+    if (latency_.satisfies(candidate, ceiling)) return candidate;
+  }
+  return pricing::StorageTier::kHot;
+}
+
+}  // namespace minicost::core

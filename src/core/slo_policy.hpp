@@ -1,0 +1,44 @@
+#pragma once
+// SLO-constrained tiering: wraps any TieringPolicy and overrides decisions
+// that would violate a file's access-latency SLO. The canonical use is
+// keeping interactive assets out of archive (whose rehydration takes hours)
+// while letting the inner optimizer do whatever it wants with batch data.
+
+#include <vector>
+
+#include "core/policy.hpp"
+#include "sim/latency.hpp"
+
+namespace minicost::core {
+
+class SloConstrainedPolicy final : public TieringPolicy {
+ public:
+  /// `max_p99_ms` is the per-file latency ceiling (index = FileId); an
+  /// empty vector applies `default_max_p99_ms` to every file. The inner
+  /// policy is borrowed and must outlive this wrapper.
+  SloConstrainedPolicy(TieringPolicy& inner, sim::LatencyModel latency,
+                       std::vector<double> max_p99_ms = {},
+                       double default_max_p99_ms = 1e12);
+
+  std::string name() const override { return inner_.name() + "+SLO"; }
+  Knowledge knowledge() const noexcept override { return inner_.knowledge(); }
+
+  void prepare(const PlanContext& context) override;
+  pricing::StorageTier decide(const PlanContext& context, trace::FileId file,
+                              std::size_t day,
+                              pricing::StorageTier current) override;
+
+  /// How many decisions the constraint has overridden so far.
+  std::uint64_t overrides() const noexcept { return overrides_; }
+
+ private:
+  double ceiling_for(trace::FileId file) const;
+
+  TieringPolicy& inner_;
+  sim::LatencyModel latency_;
+  std::vector<double> max_p99_ms_;
+  double default_max_p99_ms_;
+  std::uint64_t overrides_ = 0;
+};
+
+}  // namespace minicost::core

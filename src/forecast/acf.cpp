@@ -1,0 +1,61 @@
+#include "forecast/acf.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace minicost::forecast {
+
+std::vector<double> acf(std::span<const double> series, std::size_t max_lag) {
+  if (series.empty()) throw std::invalid_argument("acf: empty series");
+  if (max_lag >= series.size())
+    throw std::invalid_argument("acf: max_lag must be < series length");
+  const double m = stats::mean(series);
+  double denom = 0.0;
+  for (double x : series) denom += (x - m) * (x - m);
+
+  std::vector<double> result(max_lag, 0.0);
+  if (denom == 0.0) return result;  // constant series
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double num = 0.0;
+    for (std::size_t t = lag; t < series.size(); ++t)
+      num += (series[t] - m) * (series[t - lag] - m);
+    result[lag - 1] = num / denom;
+  }
+  return result;
+}
+
+std::vector<double> pacf(std::span<const double> series, std::size_t max_lag) {
+  const std::vector<double> rho = acf(series, max_lag);
+  // Durbin-Levinson recursion. phi[k][j] = phi_{k,j}; pacf(k) = phi_{k,k}.
+  std::vector<double> result(max_lag, 0.0);
+  std::vector<double> phi_prev(max_lag + 1, 0.0), phi(max_lag + 1, 0.0);
+  double v = 1.0;
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = rho[k - 1];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - 1 - j];
+    const double phi_kk = v > 1e-12 ? num / v : 0.0;
+    phi[k] = phi_kk;
+    for (std::size_t j = 1; j < k; ++j)
+      phi[j] = phi_prev[j] - phi_kk * phi_prev[k - j];
+    v *= (1.0 - phi_kk * phi_kk);
+    result[k - 1] = phi_kk;
+    phi_prev = phi;
+  }
+  return result;
+}
+
+std::size_t dominant_period(std::span<const double> series, std::size_t max_lag) {
+  const std::vector<double> rho = acf(series, max_lag);
+  std::size_t best = 0;
+  double best_value = 0.0;
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    if (rho[lag - 1] > best_value) {
+      best_value = rho[lag - 1];
+      best = lag;
+    }
+  }
+  return best;
+}
+
+}  // namespace minicost::forecast

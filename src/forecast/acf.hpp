@@ -1,0 +1,24 @@
+#pragma once
+// Autocorrelation diagnostics: sample ACF and PACF (Durbin-Levinson). Used
+// for order selection in AutoArima and exposed for workload analysis (the
+// weekly request cycle shows up as an ACF peak at lag 7).
+
+#include <span>
+#include <vector>
+
+namespace minicost::forecast {
+
+/// Sample autocorrelations for lags 1..max_lag (lag 0 omitted; it is 1).
+/// A constant series returns all zeros. Throws std::invalid_argument if
+/// max_lag >= series length or the series is empty.
+std::vector<double> acf(std::span<const double> series, std::size_t max_lag);
+
+/// Partial autocorrelations for lags 1..max_lag via Durbin-Levinson on the
+/// sample ACF.
+std::vector<double> pacf(std::span<const double> series, std::size_t max_lag);
+
+/// The lag in [1, max_lag] with the highest ACF value (e.g. 7 for weekly
+/// cycles), or 0 if no lag has positive autocorrelation.
+std::size_t dominant_period(std::span<const double> series, std::size_t max_lag);
+
+}  // namespace minicost::forecast

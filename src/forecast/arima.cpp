@@ -1,0 +1,206 @@
+#include "forecast/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "forecast/linalg.hpp"
+#include "stats/descriptive.hpp"
+
+namespace minicost::forecast {
+
+Arima::Arima(ArimaOrder order) : order_(order) {
+  if (order.d > 2)
+    throw std::invalid_argument("Arima: differencing order d > 2 unsupported");
+}
+
+std::vector<double> Arima::difference(std::span<const double> series,
+                                      std::size_t d) {
+  std::vector<double> current(series.begin(), series.end());
+  for (std::size_t round = 0; round < d; ++round) {
+    if (current.size() < 2)
+      throw std::invalid_argument("Arima::difference: series too short");
+    std::vector<double> next(current.size() - 1);
+    for (std::size_t i = 0; i + 1 < current.size(); ++i)
+      next[i] = current[i + 1] - current[i];
+    current = std::move(next);
+  }
+  return current;
+}
+
+void Arima::fit(std::span<const double> history) {
+  const std::size_t p = order_.p, d = order_.d, q = order_.q;
+  if (history.size() < d + std::max<std::size_t>(p + q + 2, 4))
+    throw std::invalid_argument("Arima::fit: series too short for order");
+
+  // Remember the tail value at each integration level so forecasts can be
+  // integrated back: tails_[k] is the last element of the k-times
+  // differenced series.
+  tails_.clear();
+  {
+    std::vector<double> level(history.begin(), history.end());
+    for (std::size_t k = 0; k < d; ++k) {
+      tails_.push_back({level.back()});
+      level = difference(level, 1);
+    }
+    diffed_ = std::move(level);
+  }
+  const std::size_t n = diffed_.size();
+
+  if (p == 0 && q == 0) {
+    // Pure mean model (plus integration).
+    ar_.clear();
+    ma_.clear();
+    intercept_ = stats::mean(diffed_);
+    residuals_.assign(n, 0.0);
+    double ss = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      residuals_[t] = diffed_[t] - intercept_;
+      ss += residuals_[t] * residuals_[t];
+    }
+    sigma2_ = n > 1 ? ss / static_cast<double>(n - 1) : 0.0;
+    fitted_ = true;
+    return;
+  }
+
+  // Stage 1 (only needed when q > 0): long autoregression to estimate the
+  // innovations.
+  std::vector<double> innovations(n, 0.0);
+  std::size_t long_order = 0;
+  if (q > 0) {
+    long_order = std::min<std::size_t>(std::max(p + q, std::size_t{4}), n / 3);
+    long_order = std::max<std::size_t>(long_order, 1);
+    const std::size_t rows = n - long_order;
+    if (rows < long_order + 2)
+      throw std::invalid_argument("Arima::fit: series too short for MA stage");
+    Matrix design(rows, long_order + 1);
+    std::vector<double> target(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::size_t t = r + long_order;
+      design.at(r, 0) = 1.0;
+      for (std::size_t i = 0; i < long_order; ++i)
+        design.at(r, i + 1) = diffed_[t - 1 - i];
+      target[r] = diffed_[t];
+    }
+    const std::vector<double> beta = ols(design, target);
+    for (std::size_t t = long_order; t < n; ++t) {
+      double prediction = beta[0];
+      for (std::size_t i = 0; i < long_order; ++i)
+        prediction += beta[i + 1] * diffed_[t - 1 - i];
+      innovations[t] = diffed_[t] - prediction;
+    }
+  }
+
+  // Stage 2: regress the series on its own lags and the innovation lags.
+  const std::size_t start = std::max(p, long_order + q);
+  if (n <= start + p + q + 1)
+    throw std::invalid_argument("Arima::fit: series too short for order");
+  const std::size_t rows = n - start;
+  Matrix design(rows, 1 + p + q);
+  std::vector<double> target(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t t = r + start;
+    design.at(r, 0) = 1.0;
+    for (std::size_t i = 0; i < p; ++i) design.at(r, 1 + i) = diffed_[t - 1 - i];
+    for (std::size_t j = 0; j < q; ++j)
+      design.at(r, 1 + p + j) = innovations[t - 1 - j];
+    target[r] = diffed_[t];
+  }
+  const std::vector<double> beta = ols(design, target);
+  intercept_ = beta[0];
+  ar_.assign(beta.begin() + 1, beta.begin() + 1 + static_cast<std::ptrdiff_t>(p));
+  ma_.assign(beta.begin() + 1 + static_cast<std::ptrdiff_t>(p), beta.end());
+
+  // In-sample innovations of the final ARMA model, computed recursively
+  // (zero before `start`); the last q of these feed the forecast recursion.
+  residuals_.assign(n, 0.0);
+  double ss = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = start; t < n; ++t) {
+    double prediction = intercept_;
+    for (std::size_t i = 0; i < p; ++i) prediction += ar_[i] * diffed_[t - 1 - i];
+    for (std::size_t j = 0; j < q; ++j) prediction += ma_[j] * residuals_[t - 1 - j];
+    residuals_[t] = diffed_[t] - prediction;
+    ss += residuals_[t] * residuals_[t];
+    ++count;
+  }
+  sigma2_ = count > 1 ? ss / static_cast<double>(count - 1) : 0.0;
+  fitted_ = true;
+}
+
+std::vector<double> Arima::forecast(std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("Arima::forecast: call fit() first");
+  const std::size_t p = order_.p, q = order_.q;
+
+  // Extend the differenced series forward with the ARMA recursion; future
+  // innovations take their expectation (zero).
+  std::vector<double> extended = diffed_;
+  std::vector<double> innovations = residuals_;
+  extended.reserve(extended.size() + horizon);
+  innovations.reserve(innovations.size() + horizon);
+  for (std::size_t step = 0; step < horizon; ++step) {
+    const std::size_t t = extended.size();
+    double prediction = intercept_;
+    for (std::size_t i = 0; i < p && i < t; ++i)
+      prediction += ar_[i] * extended[t - 1 - i];
+    for (std::size_t j = 0; j < q && j < t; ++j)
+      prediction += ma_[j] * innovations[t - 1 - j];
+    extended.push_back(prediction);
+    innovations.push_back(0.0);
+  }
+
+  // Collect the h new values and integrate back up through the levels.
+  std::vector<double> result(extended.end() - static_cast<std::ptrdiff_t>(horizon),
+                             extended.end());
+  for (std::size_t level = tails_.size(); level-- > 0;) {
+    double previous = tails_[level][0];
+    for (double& value : result) {
+      value = previous + value;
+      previous = value;
+    }
+  }
+  return result;
+}
+
+std::string Arima::name() const {
+  return "arima(" + std::to_string(order_.p) + "," + std::to_string(order_.d) +
+         "," + std::to_string(order_.q) + ")";
+}
+
+Arima auto_arima(std::span<const double> history) {
+  double best_score = std::numeric_limits<double>::infinity();
+  Arima best(ArimaOrder{1, 0, 0});
+  bool found = false;
+  for (std::size_t d = 0; d <= 1; ++d) {
+    for (std::size_t p = 0; p <= 3; ++p) {
+      for (std::size_t q = 0; q <= 2; ++q) {
+        if (p == 0 && q == 0 && d == 0) continue;
+        Arima candidate(ArimaOrder{p, d, q});
+        try {
+          candidate.fit(history);
+        } catch (const std::exception&) {
+          continue;  // series too short for this order
+        }
+        const auto n = static_cast<double>(history.size() - d);
+        const auto k = static_cast<double>(p + q + 1);
+        if (n - k - 1.0 <= 0.0) continue;
+        const double sigma2 = std::max(candidate.innovation_variance(), 1e-12);
+        const double aicc =
+            n * std::log(sigma2) + 2.0 * k + 2.0 * k * (k + 1.0) / (n - k - 1.0);
+        if (aicc < best_score) {
+          best_score = aicc;
+          best = std::move(candidate);
+          found = true;
+        }
+      }
+    }
+  }
+  if (!found) {
+    best = Arima(ArimaOrder{0, 0, 0});
+    best.fit(history);
+  }
+  return best;
+}
+
+}  // namespace minicost::forecast

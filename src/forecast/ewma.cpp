@@ -1,0 +1,27 @@
+#include "forecast/ewma.hpp"
+
+#include <stdexcept>
+
+namespace minicost::forecast {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("Ewma: alpha must be in (0, 1]");
+}
+
+void Ewma::fit(std::span<const double> history) {
+  if (history.empty()) throw std::invalid_argument("Ewma::fit: empty series");
+  level_ = history[0];
+  for (std::size_t t = 1; t < history.size(); ++t)
+    level_ = alpha_ * history[t] + (1.0 - alpha_) * level_;
+  fitted_ = true;
+}
+
+std::vector<double> Ewma::forecast(std::size_t horizon) const {
+  if (!fitted_) throw std::logic_error("Ewma::forecast: call fit() first");
+  return std::vector<double>(horizon, level_);
+}
+
+std::string Ewma::name() const { return "ewma"; }
+
+}  // namespace minicost::forecast

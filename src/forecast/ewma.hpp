@@ -1,0 +1,28 @@
+#pragma once
+// Exponentially weighted moving average forecaster: flat forecast at the
+// smoothed level. The cheap baseline every ablation compares ARIMA against.
+
+#include <string>
+
+#include "forecast/forecaster.hpp"
+
+namespace minicost::forecast {
+
+class Ewma final : public Forecaster {
+ public:
+  /// alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha = 0.3);
+
+  void fit(std::span<const double> history) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+  std::string name() const override;
+
+  double level() const noexcept { return level_; }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace minicost::forecast

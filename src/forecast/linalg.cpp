@@ -1,0 +1,70 @@
+#include "forecast/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::forecast {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("cholesky_solve: shape mismatch");
+
+  // In-place lower Cholesky factor.
+  Matrix l(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0)
+          throw std::runtime_error("cholesky_solve: matrix not positive definite");
+        l.at(i, j) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+
+  // Forward then backward substitution.
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  std::vector<double> x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l.at(k, ii) * x[k];
+    x[ii] = sum / l.at(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> ols(const Matrix& x, std::span<const double> y, double ridge) {
+  const std::size_t n = x.rows();
+  const std::size_t k = x.cols();
+  if (y.size() != n) throw std::invalid_argument("ols: y length mismatch");
+  if (n < k) throw std::invalid_argument("ols: underdetermined system");
+
+  Matrix xtx(k, k);
+  std::vector<double> xty(k, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double xi = x.at(r, i);
+      xty[i] += xi * y[r];
+      for (std::size_t j = i; j < k; ++j) xtx.at(i, j) += xi * x.at(r, j);
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    xtx.at(i, i) += ridge;
+    for (std::size_t j = 0; j < i; ++j) xtx.at(i, j) = xtx.at(j, i);
+  }
+  return cholesky_solve(xtx, xty);
+}
+
+}  // namespace minicost::forecast

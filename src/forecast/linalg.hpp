@@ -1,0 +1,42 @@
+#pragma once
+// Small dense linear algebra for the forecasters: ordinary least squares via
+// normal equations with a Cholesky solve and a tiny ridge term for
+// conditioning. Sizes here are tiny (regression designs with < 30 columns),
+// so simplicity beats blocking.
+
+#include <span>
+#include <vector>
+
+namespace minicost::forecast {
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::vector<double>& data() noexcept { return data_; }
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky. Throws
+/// std::invalid_argument on shape mismatch and std::runtime_error if A is
+/// not positive definite.
+std::vector<double> cholesky_solve(const Matrix& a, std::span<const double> b);
+
+/// Least-squares fit: returns beta minimizing ||X beta - y||^2 + ridge
+/// ||beta||^2. X is n x k with n >= k; throws std::invalid_argument
+/// otherwise.
+std::vector<double> ols(const Matrix& x, std::span<const double> y,
+                        double ridge = 1e-8);
+
+}  // namespace minicost::forecast

@@ -1,0 +1,33 @@
+#include "forecast/seasonal_naive.hpp"
+
+#include <stdexcept>
+
+namespace minicost::forecast {
+
+SeasonalNaive::SeasonalNaive(std::size_t period) : period_(period) {
+  if (period == 0)
+    throw std::invalid_argument("SeasonalNaive: period must be >= 1");
+}
+
+void SeasonalNaive::fit(std::span<const double> history) {
+  if (history.size() < period_)
+    throw std::invalid_argument(
+        "SeasonalNaive::fit: need at least one full season");
+  last_season_.assign(history.end() - static_cast<std::ptrdiff_t>(period_),
+                      history.end());
+}
+
+std::vector<double> SeasonalNaive::forecast(std::size_t horizon) const {
+  if (last_season_.empty())
+    throw std::logic_error("SeasonalNaive::forecast: call fit() first");
+  std::vector<double> result(horizon);
+  for (std::size_t h = 0; h < horizon; ++h)
+    result[h] = last_season_[h % period_];
+  return result;
+}
+
+std::string SeasonalNaive::name() const {
+  return "seasonal-naive(" + std::to_string(period_) + ")";
+}
+
+}  // namespace minicost::forecast

@@ -1,0 +1,27 @@
+#pragma once
+// Seasonal-naive forecaster: repeat the last full season. With period 7 this
+// exploits exactly the weekly request cycle the paper reports, making it a
+// surprisingly strong baseline on the stationary files.
+
+#include <string>
+#include <vector>
+
+#include "forecast/forecaster.hpp"
+
+namespace minicost::forecast {
+
+class SeasonalNaive final : public Forecaster {
+ public:
+  /// period >= 1; 7 = weekly (the paper's cycle length).
+  explicit SeasonalNaive(std::size_t period = 7);
+
+  void fit(std::span<const double> history) override;
+  std::vector<double> forecast(std::size_t horizon) const override;
+  std::string name() const override;
+
+ private:
+  std::size_t period_;
+  std::vector<double> last_season_;
+};
+
+}  // namespace minicost::forecast

@@ -1,0 +1,51 @@
+#include "nn/activation.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace minicost::nn {
+
+void Relu::forward(std::span<const double> in, std::span<double> out) {
+  assert(in.size() == size_ && out.size() == size_);
+  cached_input_.assign(in.begin(), in.end());
+  for (std::size_t i = 0; i < size_; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
+void Relu::backward(std::span<const double> grad_out,
+                    std::span<double> grad_in) {
+  assert(grad_out.size() == size_ && grad_in.size() == size_);
+  assert(cached_input_.size() == size_ && "backward without forward");
+  for (std::size_t i = 0; i < size_; ++i)
+    grad_in[i] = cached_input_[i] > 0.0 ? grad_out[i] : 0.0;
+}
+
+std::unique_ptr<Layer> Relu::clone() const {
+  return std::make_unique<Relu>(size_);
+}
+
+std::string Relu::spec() const { return "relu " + std::to_string(size_); }
+
+void Tanh::forward(std::span<const double> in, std::span<double> out) {
+  assert(in.size() == size_ && out.size() == size_);
+  cached_output_.resize(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out[i] = std::tanh(in[i]);
+    cached_output_[i] = out[i];
+  }
+}
+
+void Tanh::backward(std::span<const double> grad_out,
+                    std::span<double> grad_in) {
+  assert(grad_out.size() == size_ && grad_in.size() == size_);
+  assert(cached_output_.size() == size_ && "backward without forward");
+  for (std::size_t i = 0; i < size_; ++i)
+    grad_in[i] = grad_out[i] * (1.0 - cached_output_[i] * cached_output_[i]);
+}
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  return std::make_unique<Tanh>(size_);
+}
+
+std::string Tanh::spec() const { return "tanh " + std::to_string(size_); }
+
+}  // namespace minicost::nn

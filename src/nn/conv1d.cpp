@@ -1,0 +1,82 @@
+#include "nn/conv1d.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::nn {
+
+Conv1DOverPrefix::Conv1DOverPrefix(std::size_t input_size,
+                                   std::size_t prefix_len, std::size_t filters,
+                                   std::size_t kernel, util::Rng& rng)
+    : input_(input_size),
+      prefix_(prefix_len),
+      filters_(filters),
+      kernel_(kernel),
+      params_(filters * kernel + filters),
+      grads_(params_.size(), 0.0) {
+  if (kernel == 0 || filters == 0)
+    throw std::invalid_argument("Conv1DOverPrefix: zero kernel or filters");
+  if (prefix_len > input_size)
+    throw std::invalid_argument("Conv1DOverPrefix: prefix exceeds input");
+  if (kernel > prefix_len)
+    throw std::invalid_argument("Conv1DOverPrefix: kernel exceeds prefix");
+  const double bound = std::sqrt(6.0 / static_cast<double>(kernel));
+  for (std::size_t i = 0; i < filters * kernel; ++i)
+    params_[i] = rng.uniform(-bound, bound);
+}
+
+void Conv1DOverPrefix::forward(std::span<const double> in,
+                               std::span<double> out) {
+  assert(in.size() == input_ && out.size() == output_size());
+  cached_input_.assign(in.begin(), in.end());
+  const std::size_t pos = positions();
+  const double* bias = params_.data() + bias_offset();
+  for (std::size_t f = 0; f < filters_; ++f) {
+    const double* w = params_.data() + f * kernel_;
+    for (std::size_t x = 0; x < pos; ++x) {
+      double sum = bias[f];
+      for (std::size_t k = 0; k < kernel_; ++k) sum += w[k] * in[x + k];
+      out[f * pos + x] = sum;
+    }
+  }
+  // Aux features pass through after the convolution block.
+  for (std::size_t a = 0; a < aux(); ++a)
+    out[filters_ * pos + a] = in[prefix_ + a];
+}
+
+void Conv1DOverPrefix::backward(std::span<const double> grad_out,
+                                std::span<double> grad_in) {
+  assert(grad_out.size() == output_size() && grad_in.size() == input_);
+  assert(cached_input_.size() == input_ && "backward without forward");
+  const std::size_t pos = positions();
+  for (std::size_t i = 0; i < input_; ++i) grad_in[i] = 0.0;
+  double* bias_grad = grads_.data() + bias_offset();
+  for (std::size_t f = 0; f < filters_; ++f) {
+    const double* w = params_.data() + f * kernel_;
+    double* wg = grads_.data() + f * kernel_;
+    for (std::size_t x = 0; x < pos; ++x) {
+      const double g = grad_out[f * pos + x];
+      bias_grad[f] += g;
+      for (std::size_t k = 0; k < kernel_; ++k) {
+        wg[k] += g * cached_input_[x + k];
+        grad_in[x + k] += g * w[k];
+      }
+    }
+  }
+  for (std::size_t a = 0; a < aux(); ++a)
+    grad_in[prefix_ + a] = grad_out[filters_ * pos + a];
+}
+
+std::unique_ptr<Layer> Conv1DOverPrefix::clone() const {
+  auto copy = std::make_unique<Conv1DOverPrefix>(*this);
+  copy->cached_input_.clear();
+  return copy;
+}
+
+std::string Conv1DOverPrefix::spec() const {
+  return "conv1d " + std::to_string(input_) + " " + std::to_string(prefix_) +
+         " " + std::to_string(filters_) + " " + std::to_string(kernel_);
+}
+
+}  // namespace minicost::nn

@@ -1,0 +1,56 @@
+#include "nn/dense.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace minicost::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
+    : in_(in), out_(out), params_(in * out + out), grads_(params_.size(), 0.0) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(in));
+  for (std::size_t i = 0; i < in * out; ++i)
+    params_[i] = rng.uniform(-bound, bound);
+  // biases start at zero (the tail of params_ is already zero-initialized)
+}
+
+void Dense::forward(std::span<const double> in, std::span<double> out) {
+  assert(in.size() == in_ && out.size() == out_);
+  cached_input_.assign(in.begin(), in.end());
+  const double* bias = params_.data() + bias_offset();
+  for (std::size_t o = 0; o < out_; ++o) {
+    const double* row = params_.data() + o * in_;
+    double sum = bias[o];
+    for (std::size_t i = 0; i < in_; ++i) sum += row[i] * in[i];
+    out[o] = sum;
+  }
+}
+
+void Dense::backward(std::span<const double> grad_out,
+                     std::span<double> grad_in) {
+  assert(grad_out.size() == out_ && grad_in.size() == in_);
+  assert(cached_input_.size() == in_ && "backward without forward");
+  double* bias_grad = grads_.data() + bias_offset();
+  for (std::size_t i = 0; i < in_; ++i) grad_in[i] = 0.0;
+  for (std::size_t o = 0; o < out_; ++o) {
+    const double g = grad_out[o];
+    bias_grad[o] += g;
+    double* weight_grad_row = grads_.data() + o * in_;
+    const double* weight_row = params_.data() + o * in_;
+    for (std::size_t i = 0; i < in_; ++i) {
+      weight_grad_row[i] += g * cached_input_[i];
+      grad_in[i] += g * weight_row[i];
+    }
+  }
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::make_unique<Dense>(*this);
+  copy->cached_input_.clear();
+  return copy;
+}
+
+std::string Dense::spec() const {
+  return "dense " + std::to_string(in_) + " " + std::to_string(out_);
+}
+
+}  // namespace minicost::nn

@@ -1,0 +1,40 @@
+#pragma once
+// Fully connected layer: out = W in + b.
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace minicost::nn {
+
+class Dense final : public Layer {
+ public:
+  /// He-uniform initialization (suits the ReLU activations used throughout).
+  Dense(std::size_t in, std::size_t out, util::Rng& rng);
+
+  std::size_t input_size() const noexcept override { return in_; }
+  std::size_t output_size() const noexcept override { return out_; }
+
+  void forward(std::span<const double> in, std::span<double> out) override;
+  void backward(std::span<const double> grad_out,
+                std::span<double> grad_in) override;
+
+  std::span<double> parameters() noexcept override { return params_; }
+  std::span<const double> parameters() const noexcept override { return params_; }
+  std::span<double> gradients() noexcept override { return grads_; }
+
+  std::unique_ptr<Layer> clone() const override;
+  std::string spec() const override;
+
+ private:
+  // params_ layout: W row-major (out x in), then b (out).
+  double weight(std::size_t o, std::size_t i) const { return params_[o * in_ + i]; }
+  std::size_t bias_offset() const noexcept { return out_ * in_; }
+
+  std::size_t in_, out_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+  std::vector<double> cached_input_;
+};
+
+}  // namespace minicost::nn

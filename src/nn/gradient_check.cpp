@@ -1,0 +1,46 @@
+#include "nn/gradient_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minicost::nn {
+
+GradientCheckResult check_gradients(
+    Network& net, std::span<const double> input,
+    const std::function<double(std::span<const double>)>& loss,
+    const std::function<std::vector<double>(std::span<const double>)>& loss_grad,
+    double epsilon, std::size_t max_params) {
+  GradientCheckResult result;
+
+  // Analytic gradients.
+  net.zero_gradients();
+  const std::vector<double> output = net.forward(input);
+  net.backward(loss_grad(output));
+  const std::vector<double> analytic = net.collect_gradients(/*zero_after=*/true);
+
+  std::vector<double> params = net.snapshot_parameters();
+  const std::size_t n = params.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / std::max<std::size_t>(1, max_params));
+
+  for (std::size_t i = 0; i < n; i += stride) {
+    const double saved = params[i];
+    params[i] = saved + epsilon;
+    net.load_parameters(params);
+    const double plus = loss(net.forward(input));
+    params[i] = saved - epsilon;
+    net.load_parameters(params);
+    const double minus = loss(net.forward(input));
+    params[i] = saved;
+
+    const double numeric = (plus - minus) / (2.0 * epsilon);
+    const double abs_error = std::abs(numeric - analytic[i]);
+    const double denom = std::max({std::abs(numeric), std::abs(analytic[i]), 1e-8});
+    result.max_abs_error = std::max(result.max_abs_error, abs_error);
+    result.max_rel_error = std::max(result.max_rel_error, abs_error / denom);
+    ++result.checked;
+  }
+  net.load_parameters(params);
+  return result;
+}
+
+}  // namespace minicost::nn

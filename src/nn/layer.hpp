@@ -1,0 +1,53 @@
+#pragma once
+// Layer abstraction for the from-scratch neural network library that powers
+// the MiniCost agent (the paper trains its DQNs with TensorFlow/TFLearn; we
+// implement the same architecture natively — see DESIGN.md).
+//
+// Design notes:
+//  * Single-sample forward/backward: the RL agent trains on one transition
+//    at a time (episode roll-outs), so there is no batch dimension. This
+//    keeps layers allocation-free on the hot path.
+//  * A layer owns its parameters and their gradient accumulators; backward()
+//    ACCUMULATES into the gradients (callers zero them per update step).
+//  * Layers cache their last input, so a Network instance is not
+//    thread-safe; each A3C worker clones the network instead (Sec. 5.1's
+//    asynchronous workers).
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace minicost::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual std::size_t input_size() const noexcept = 0;
+  virtual std::size_t output_size() const noexcept = 0;
+
+  /// Computes out = f(in). `in.size()` must equal input_size() and
+  /// `out.size()` output_size(); implementations may cache `in`.
+  virtual void forward(std::span<const double> in, std::span<double> out) = 0;
+
+  /// Given dL/d(out), accumulates parameter gradients and writes dL/d(in).
+  /// Must be preceded by a forward() on the same input.
+  virtual void backward(std::span<const double> grad_out,
+                        std::span<double> grad_in) = 0;
+
+  /// Flat views over parameters and their gradient accumulators; empty for
+  /// parameterless layers.
+  virtual std::span<double> parameters() noexcept = 0;
+  virtual std::span<const double> parameters() const noexcept = 0;
+  virtual std::span<double> gradients() noexcept = 0;
+
+  /// Deep copy (parameters included, cached activations not).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Identifier used by serialization, e.g. "dense 64 32".
+  virtual std::string spec() const = 0;
+};
+
+}  // namespace minicost::nn

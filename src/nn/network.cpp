@@ -1,0 +1,154 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+#include "nn/activation.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+
+namespace minicost::nn {
+
+Network::Network(const Network& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  Network copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  if (!layers_.empty() && layer->input_size() != layers_.back()->output_size())
+    throw std::invalid_argument(
+        "Network::add: layer input " + std::to_string(layer->input_size()) +
+        " != previous output " + std::to_string(layers_.back()->output_size()));
+  layers_.push_back(std::move(layer));
+}
+
+std::size_t Network::input_size() const noexcept {
+  return layers_.empty() ? 0 : layers_.front()->input_size();
+}
+
+std::size_t Network::output_size() const noexcept {
+  return layers_.empty() ? 0 : layers_.back()->output_size();
+}
+
+std::vector<double> Network::forward(std::span<const double> input) {
+  if (layers_.empty())
+    return std::vector<double>(input.begin(), input.end());
+  if (input.size() != input_size())
+    throw std::invalid_argument("Network::forward: input size mismatch");
+  activations_.resize(layers_.size());
+  std::span<const double> current = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    activations_[i].resize(layers_[i]->output_size());
+    layers_[i]->forward(current, activations_[i]);
+    current = activations_[i];
+  }
+  return activations_.back();
+}
+
+std::vector<double> Network::backward(std::span<const double> grad_output) {
+  if (layers_.empty())
+    return std::vector<double>(grad_output.begin(), grad_output.end());
+  if (grad_output.size() != output_size())
+    throw std::invalid_argument("Network::backward: gradient size mismatch");
+  std::vector<double> grad(grad_output.begin(), grad_output.end());
+  std::vector<double> grad_in;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad_in.resize(layers_[i]->input_size());
+    layers_[i]->backward(grad, grad_in);
+    grad = grad_in;
+  }
+  return grad;
+}
+
+std::size_t Network::parameter_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& layer : layers_) count += layer->parameters().size();
+  return count;
+}
+
+std::vector<double> Network::snapshot_parameters() const {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    const auto params = layer->parameters();
+    flat.insert(flat.end(), params.begin(), params.end());
+  }
+  return flat;
+}
+
+void Network::load_parameters(std::span<const double> flat) {
+  if (flat.size() != parameter_count())
+    throw std::invalid_argument("Network::load_parameters: size mismatch");
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    auto params = layer->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i) params[i] = flat[offset + i];
+    offset += params.size();
+  }
+}
+
+std::vector<double> Network::collect_gradients(bool zero_after) {
+  std::vector<double> flat;
+  flat.reserve(parameter_count());
+  for (auto& layer : layers_) {
+    auto grads = layer->gradients();
+    flat.insert(flat.end(), grads.begin(), grads.end());
+    if (zero_after) {
+      for (double& g : grads) g = 0.0;
+    }
+  }
+  return flat;
+}
+
+void Network::apply_delta(std::span<const double> delta, double scale) {
+  if (delta.size() != parameter_count())
+    throw std::invalid_argument("Network::apply_delta: size mismatch");
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    auto params = layer->parameters();
+    for (std::size_t i = 0; i < params.size(); ++i)
+      params[i] += delta[offset + i] * scale;
+    offset += params.size();
+  }
+}
+
+void Network::zero_gradients() noexcept {
+  for (auto& layer : layers_) {
+    for (double& g : layer->gradients()) g = 0.0;
+  }
+}
+
+Network build_trunk(std::size_t history_len, std::size_t aux_features,
+                    std::size_t filters, std::size_t kernel, std::size_t hidden,
+                    std::size_t outputs, util::Rng& rng) {
+  Network net;
+  const std::size_t input = history_len + aux_features;
+  auto conv = std::make_unique<Conv1DOverPrefix>(input, history_len, filters,
+                                                 kernel, rng);
+  const std::size_t conv_out = conv->output_size();
+  net.add(std::move(conv));
+  net.add(std::make_unique<Relu>(conv_out));
+  net.add(std::make_unique<Dense>(conv_out, hidden, rng));
+  net.add(std::make_unique<Relu>(hidden));
+  net.add(std::make_unique<Dense>(hidden, outputs, rng));
+  return net;
+}
+
+Network build_mlp(const std::vector<std::size_t>& sizes, util::Rng& rng) {
+  if (sizes.size() < 2)
+    throw std::invalid_argument("build_mlp: need at least input and output");
+  Network net;
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    net.add(std::make_unique<Dense>(sizes[i], sizes[i + 1], rng));
+    if (i + 2 < sizes.size()) net.add(std::make_unique<Relu>(sizes[i + 1]));
+  }
+  return net;
+}
+
+}  // namespace minicost::nn

@@ -1,0 +1,72 @@
+#pragma once
+// Sequential network container plus the builders for the paper's actor and
+// critic architectures.
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace minicost::nn {
+
+class Network {
+ public:
+  Network() = default;
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  /// Appends a layer; its input size must match the current output size.
+  /// Throws std::invalid_argument otherwise.
+  void add(std::unique_ptr<Layer> layer);
+
+  std::size_t input_size() const noexcept;
+  std::size_t output_size() const noexcept;
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Forward pass; returns the output activations. Caches intermediate
+  /// activations for backward(). Not thread-safe; clone per thread.
+  std::vector<double> forward(std::span<const double> input);
+
+  /// Backpropagates dL/d(output), accumulating parameter gradients in every
+  /// layer; returns dL/d(input). Must follow a forward() call.
+  std::vector<double> backward(std::span<const double> grad_output);
+
+  /// Total number of trainable parameters.
+  std::size_t parameter_count() const noexcept;
+
+  /// Copies all parameters into / out of a single flat vector (parameter
+  /// server synchronization). Throws std::invalid_argument on size mismatch.
+  std::vector<double> snapshot_parameters() const;
+  void load_parameters(std::span<const double> flat);
+
+  /// Copies all accumulated gradients into one flat vector (matching the
+  /// snapshot layout), optionally zeroing the accumulators.
+  std::vector<double> collect_gradients(bool zero_after);
+
+  /// Adds `delta[i] * scale` to parameter i (flat layout).
+  void apply_delta(std::span<const double> delta, double scale);
+
+  void zero_gradients() noexcept;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<std::vector<double>> activations_;  // forward scratch
+};
+
+/// Builds the MiniCost network trunk (paper Sec. 6.1): the request-history
+/// prefix goes through a Conv1D (`filters` filters of size `kernel`, stride
+/// 1) and, together with the auxiliary features, into a ReLU hidden layer of
+/// `hidden` neurons; a final Dense maps to `outputs` (3 tier logits for the
+/// actor, 1 value for the critic). The paper's defaults are filters =
+/// hidden = 128, kernel = 4.
+Network build_trunk(std::size_t history_len, std::size_t aux_features,
+                    std::size_t filters, std::size_t kernel, std::size_t hidden,
+                    std::size_t outputs, util::Rng& rng);
+
+/// Plain MLP: sizes = {in, h1, ..., out} with ReLU between layers.
+Network build_mlp(const std::vector<std::size_t>& sizes, util::Rng& rng);
+
+}  // namespace minicost::nn

@@ -1,0 +1,65 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace minicost::nn {
+
+std::vector<double> softmax(std::span<const double> logits) {
+  std::vector<double> result(logits.size());
+  if (logits.empty()) return result;
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    result[i] = std::exp(logits[i] - peak);
+    total += result[i];
+  }
+  for (double& value : result) value /= total;
+  return result;
+}
+
+std::vector<double> log_softmax(std::span<const double> logits) {
+  std::vector<double> result(logits.size());
+  if (logits.empty()) return result;
+  const double peak = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double logit : logits) total += std::exp(logit - peak);
+  const double log_total = std::log(total) + peak;
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    result[i] = logits[i] - log_total;
+  return result;
+}
+
+double entropy(std::span<const double> probabilities) noexcept {
+  double h = 0.0;
+  for (double p : probabilities) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::size_t argmax(std::span<const double> values) noexcept {
+  if (values.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+void clip_inplace(std::span<double> values, double limit) noexcept {
+  for (double& value : values) value = std::clamp(value, -limit, limit);
+}
+
+double l2_norm(std::span<const double> values) noexcept {
+  double sum = 0.0;
+  for (double value : values) sum += value * value;
+  return std::sqrt(sum);
+}
+
+void clip_by_global_norm(std::span<double> values, double max_norm) noexcept {
+  if (max_norm <= 0.0) return;
+  const double norm = l2_norm(values);
+  if (norm <= max_norm || norm == 0.0) return;
+  const double scale = max_norm / norm;
+  for (double& value : values) value *= scale;
+}
+
+}  // namespace minicost::nn

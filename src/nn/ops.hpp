@@ -1,0 +1,31 @@
+#pragma once
+// Free-function tensor ops shared by layers and the RL losses.
+
+#include <span>
+#include <vector>
+
+namespace minicost::nn {
+
+/// Numerically stable softmax (subtracts the max before exponentiation).
+std::vector<double> softmax(std::span<const double> logits);
+
+/// log(softmax(logits)), stable.
+std::vector<double> log_softmax(std::span<const double> logits);
+
+/// Shannon entropy of a probability vector, in nats.
+double entropy(std::span<const double> probabilities) noexcept;
+
+/// Index of the maximum element; 0 for empty input.
+std::size_t argmax(std::span<const double> values) noexcept;
+
+/// Clips each element into [-limit, limit]; used for gradient clipping.
+void clip_inplace(std::span<double> values, double limit) noexcept;
+
+/// L2 norm.
+double l2_norm(std::span<const double> values) noexcept;
+
+/// Rescales `values` so its L2 norm is at most max_norm (global gradient
+/// norm clipping). No-op if already within bounds or max_norm <= 0.
+void clip_by_global_norm(std::span<double> values, double max_norm) noexcept;
+
+}  // namespace minicost::nn

@@ -1,0 +1,60 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::nn {
+namespace {
+
+void check_sizes(std::span<double> params, std::span<const double> grads,
+                 std::vector<double>& state) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("Optimizer::step: params/grads size mismatch");
+  if (state.empty()) state.assign(params.size(), 0.0);
+  if (state.size() != params.size())
+    throw std::invalid_argument("Optimizer::step: parameter count changed");
+}
+
+}  // namespace
+
+Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
+
+void Sgd::step(std::span<double> params, std::span<const double> grads) {
+  check_sizes(params, grads, velocity_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    velocity_[i] = momentum_ * velocity_[i] - lr_ * grads[i];
+    params[i] += velocity_[i];
+  }
+}
+
+RmsProp::RmsProp(double lr, double decay, double epsilon)
+    : Optimizer(lr), decay_(decay), epsilon_(epsilon) {}
+
+void RmsProp::step(std::span<double> params, std::span<const double> grads) {
+  check_sizes(params, grads, mean_square_);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    mean_square_[i] =
+        decay_ * mean_square_[i] + (1.0 - decay_) * grads[i] * grads[i];
+    params[i] -= lr_ * grads[i] / (std::sqrt(mean_square_[i]) + epsilon_);
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double epsilon)
+    : Optimizer(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon) {}
+
+void Adam::step(std::span<double> params, std::span<const double> grads) {
+  check_sizes(params, grads, m_);
+  if (v_.empty()) v_.assign(params.size(), 0.0);
+  ++t_;
+  const double correction1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
+    const double m_hat = m_[i] / correction1;
+    const double v_hat = v_[i] / correction2;
+    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+  }
+}
+
+}  // namespace minicost::nn

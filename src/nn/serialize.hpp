@@ -1,0 +1,22 @@
+#pragma once
+// Network (de)serialization: a small self-describing text format so trained
+// MiniCost agents can be checkpointed and shipped.
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "nn/network.hpp"
+
+namespace minicost::nn {
+
+/// Writes layer specs and all parameters. Round-trips exactly (parameters
+/// are written with max_digits10 precision).
+void save_network(const Network& net, std::ostream& out);
+void save_network(const Network& net, const std::filesystem::path& path);
+
+/// Rebuilds a network saved by save_network. Throws std::runtime_error on
+/// format errors.
+Network load_network(std::istream& in);
+Network load_network(const std::filesystem::path& path);
+
+}  // namespace minicost::nn

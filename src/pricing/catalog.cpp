@@ -1,0 +1,90 @@
+#include "pricing/catalog.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace minicost::pricing {
+
+std::size_t PriceCatalog::add(Datacenter dc) {
+  for (const Datacenter& existing : datacenters_) {
+    if (existing.name == dc.name)
+      throw std::invalid_argument("PriceCatalog: duplicate datacenter " + dc.name);
+  }
+  datacenters_.push_back(std::move(dc));
+  return datacenters_.size() - 1;
+}
+
+const Datacenter& PriceCatalog::by_name(const std::string& name) const {
+  for (const Datacenter& dc : datacenters_) {
+    if (dc.name == name) return dc;
+  }
+  throw std::out_of_range("PriceCatalog: no datacenter named " + name);
+}
+
+std::size_t PriceCatalog::cheapest_for(double gb, double daily_reads,
+                                       double daily_writes) const {
+  if (datacenters_.empty())
+    throw std::out_of_range("PriceCatalog: empty catalog");
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < datacenters_.size(); ++i) {
+    const PricingPolicy& p = datacenters_[i].policy;
+    double tier_best = std::numeric_limits<double>::infinity();
+    for (StorageTier t : all_tiers()) {
+      const double daily = p.storage_cost_per_day(t, gb) +
+                           p.read_cost(t, daily_reads, gb) +
+                           p.write_cost(t, daily_writes, gb);
+      tier_best = std::min(tier_best, daily);
+    }
+    if (tier_best < best_cost) {
+      best_cost = tier_best;
+      best = i;
+    }
+  }
+  return best;
+}
+
+PricingPolicy PriceCatalog::scaled(const PricingPolicy& base, double factor,
+                                   const std::string& name) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("PriceCatalog::scaled: factor must be > 0");
+  std::array<TierPrice, kTierCount> tiers{};
+  for (StorageTier t : all_tiers()) {
+    const TierPrice& p = base.tier(t);
+    tiers[tier_index(t)] =
+        TierPrice{p.storage_gb_month * factor, p.read_per_10k_ops * factor,
+                  p.write_per_10k_ops * factor, p.read_per_gb * factor,
+                  p.write_per_gb * factor};
+  }
+  return PricingPolicy(name, tiers, base.tier_change_per_gb() * factor,
+                       base.days_per_month());
+}
+
+PricingPolicy PriceCatalog::skewed(const PricingPolicy& base,
+                                   double storage_factor, double access_factor,
+                                   const std::string& name) {
+  if (storage_factor <= 0.0 || access_factor <= 0.0)
+    throw std::invalid_argument("PriceCatalog::skewed: factors must be > 0");
+  std::array<TierPrice, kTierCount> tiers{};
+  for (StorageTier t : all_tiers()) {
+    const TierPrice& p = base.tier(t);
+    tiers[tier_index(t)] =
+        TierPrice{p.storage_gb_month * storage_factor,
+                  p.read_per_10k_ops * access_factor,
+                  p.write_per_10k_ops * access_factor,
+                  p.read_per_gb * access_factor, p.write_per_gb * access_factor};
+  }
+  return PricingPolicy(name, tiers, base.tier_change_per_gb() * access_factor,
+                       base.days_per_month());
+}
+
+PriceCatalog PriceCatalog::default_catalog() {
+  PriceCatalog catalog;
+  const PricingPolicy base = PricingPolicy::azure_2020();
+  catalog.add({"us-west", base});
+  catalog.add({"cold-vault", skewed(base, 0.6, 1.6, "azure-2020-cold-vault")});
+  catalog.add({"edge-serve", skewed(base, 1.35, 0.65, "azure-2020-edge-serve")});
+  return catalog;
+}
+
+}  // namespace minicost::pricing

@@ -1,0 +1,61 @@
+#pragma once
+// Multi-datacenter price catalog: the paper's system model (Sec. 4.1) allows
+// the files to be spread over a set Ds of datacenters, "each with its own
+// pricing policy". A catalog names datacenters and binds each to a policy
+// (typically a regional variant of a preset).
+
+#include <string>
+#include <vector>
+
+#include "pricing/policy.hpp"
+
+namespace minicost::pricing {
+
+struct Datacenter {
+  std::string name;
+  PricingPolicy policy;
+};
+
+class PriceCatalog {
+ public:
+  PriceCatalog() = default;
+
+  /// Adds a datacenter; returns its index. Throws std::invalid_argument on
+  /// duplicate names.
+  std::size_t add(Datacenter dc);
+
+  std::size_t size() const noexcept { return datacenters_.size(); }
+  const Datacenter& at(std::size_t index) const { return datacenters_.at(index); }
+
+  /// Finds a datacenter by name; throws std::out_of_range if absent.
+  const Datacenter& by_name(const std::string& name) const;
+
+  /// The datacenter whose policy yields the lowest cost for a file with the
+  /// given usage profile, evaluated at the file's per-day best tier. Ties
+  /// break toward lower index.
+  std::size_t cheapest_for(double gb, double daily_reads, double daily_writes) const;
+
+  /// Applies a uniform multiplier to every price of a policy (regional
+  /// price differences are usually flat factors on the public sheets).
+  static PricingPolicy scaled(const PricingPolicy& base, double factor,
+                              const std::string& name);
+
+  /// Applies separate multipliers to the storage prices and the access
+  /// (operation + per-GB) prices. Models structurally different offerings:
+  /// archival regions sell cheap bytes and pricey accesses; edge regions
+  /// the reverse. The tier-change price scales with the access factor.
+  static PricingPolicy skewed(const PricingPolicy& base, double storage_factor,
+                              double access_factor, const std::string& name);
+
+  /// A three-region catalog built from the Azure preset: the us-west
+  /// baseline, a storage-cheap/access-pricey "cold-vault" region, and an
+  /// access-cheap/storage-pricey "edge-serve" region. Structurally
+  /// heterogeneous, so the jointly optimal placement genuinely spreads
+  /// files across regions (see core/multicloud.hpp).
+  static PriceCatalog default_catalog();
+
+ private:
+  std::vector<Datacenter> datacenters_;
+};
+
+}  // namespace minicost::pricing

@@ -1,0 +1,29 @@
+#include "pricing/tier.hpp"
+
+#include <stdexcept>
+
+namespace minicost::pricing {
+
+StorageTier tier_from_index(std::size_t index) {
+  if (index >= kTierCount)
+    throw std::out_of_range("tier_from_index: index " + std::to_string(index));
+  return static_cast<StorageTier>(index);
+}
+
+std::string_view tier_name(StorageTier tier) noexcept {
+  switch (tier) {
+    case StorageTier::kHot: return "hot";
+    case StorageTier::kCool: return "cool";
+    case StorageTier::kArchive: return "archive";
+  }
+  return "?";
+}
+
+StorageTier parse_tier(std::string_view name) {
+  if (name == "hot") return StorageTier::kHot;
+  if (name == "cool" || name == "cold") return StorageTier::kCool;
+  if (name == "archive") return StorageTier::kArchive;
+  throw std::invalid_argument("parse_tier: unknown tier '" + std::string(name) + "'");
+}
+
+}  // namespace minicost::pricing

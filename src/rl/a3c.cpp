@@ -1,0 +1,433 @@
+#include "rl/a3c.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nn/ops.hpp"
+#include "nn/serialize.hpp"
+#include "stats/descriptive.hpp"
+
+namespace minicost::rl {
+namespace {
+
+nn::Network make_actor(const A3CConfig& config, const Featurizer& featurizer,
+                       util::Rng& rng) {
+  return nn::build_trunk(featurizer.history_len(), featurizer.aux_count(),
+                         config.filters, config.kernel, config.hidden,
+                         kActionCount, rng);
+}
+
+nn::Network make_critic(const A3CConfig& config, const Featurizer& featurizer,
+                        util::Rng& rng) {
+  return nn::build_trunk(featurizer.history_len(), featurizer.aux_count(),
+                         config.filters, config.kernel, config.hidden,
+                         /*outputs=*/1, rng);
+}
+
+std::unique_ptr<nn::Optimizer> make_optimizer(const A3CConfig& config) {
+  switch (config.optimizer) {
+    case OptimizerKind::kRmsProp:
+      return std::make_unique<nn::RmsProp>(config.learning_rate);
+    case OptimizerKind::kSgdMomentum:
+      return std::make_unique<nn::Sgd>(config.learning_rate, config.momentum);
+    case OptimizerKind::kAdam:
+      return std::make_unique<nn::Adam>(config.learning_rate);
+  }
+  return std::make_unique<nn::Sgd>(config.learning_rate, config.momentum);
+}
+
+}  // namespace
+
+A3CAgent::A3CAgent(A3CConfig config, std::uint64_t seed)
+    : config_(config),
+      featurizer_(config.features),
+      actor_(),
+      critic_(),
+      actor_opt_(make_optimizer(config)),
+      critic_opt_(make_optimizer(config)),
+      seed_rng_(seed) {
+  if (config.workers == 0)
+    throw std::invalid_argument("A3CAgent: need at least one worker");
+  if (config.episode_len == 0)
+    throw std::invalid_argument("A3CAgent: episode_len must be > 0");
+  if (config.gamma < 0.0 || config.gamma > 1.0)
+    throw std::invalid_argument("A3CAgent: gamma outside [0, 1]");
+  util::Rng init_rng = seed_rng_.fork(0);
+  actor_ = make_actor(config_, featurizer_, init_rng);
+  critic_ = make_critic(config_, featurizer_, init_rng);
+}
+
+A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
+                                               nn::Network& actor,
+                                               nn::Network& critic,
+                                               trace::FileId file,
+                                               std::size_t start_day,
+                                               std::size_t end_day,
+                                               util::Rng& rng) {
+  // Sync local nets from the shared parameters.
+  {
+    std::scoped_lock lock(param_mutex_);
+    actor.load_parameters(actor_.snapshot_parameters());
+    critic.load_parameters(critic_.snapshot_parameters());
+  }
+  actor.zero_gradients();
+  critic.zero_gradients();
+
+  struct Step {
+    std::vector<double> state;
+    Action action = 0;
+    double reward = 0.0;
+  };
+  std::vector<Step> steps;
+  steps.reserve(config_.episode_len);
+
+  EpisodeOutcome outcome;
+  const pricing::StorageTier start_tier =
+      config_.randomize_initial_tier
+          ? pricing::tier_from_index(static_cast<std::size_t>(
+                rng.uniform_int(0, pricing::kTierCount - 1)))
+          : config_.initial_tier;
+  std::vector<double> state = env.reset(file, start_tier, start_day, end_day);
+
+  bool done = false;
+  bool exploring = false;
+  Action held_action = 0;
+  const double hold_stop_p =
+      config_.epsilon_hold_mean > 0.0 ? 1.0 / config_.epsilon_hold_mean : 1.0;
+  while (!done) {
+    const std::vector<double> logits = actor.forward(state);
+    const std::vector<double> pi = nn::softmax(logits);
+    Action action;
+    if (exploring && !rng.bernoulli(hold_stop_p)) {
+      action = held_action;  // sticky exploration continues
+    } else if (rng.bernoulli(config_.epsilon)) {
+      exploring = true;
+      held_action = static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
+      action = held_action;
+    } else {
+      exploring = false;
+      action = rng.weighted_index(pi);
+    }
+    StepResult step = env.step(action);
+    steps.push_back({std::move(state), action, step.reward});
+    outcome.reward_sum += step.reward;
+    outcome.cost_sum += step.cost;
+    ++outcome.steps;
+    done = step.done;
+    state = std::move(step.state);
+  }
+
+  // n-step returns over the whole episode (terminal bootstrap = 0: the
+  // episode window ends the billing period).
+  double ret = 0.0;
+  std::vector<double> returns(steps.size());
+  for (std::size_t i = steps.size(); i-- > 0;) {
+    ret = steps[i].reward + config_.gamma * ret;
+    returns[i] = ret;
+  }
+
+  // Advantages, centered per episode. Centering is load-bearing: the critic
+  // is trained on *behavior-policy* returns, which include the cost of
+  // ε-exploration, so raw advantages of on-policy actions carry a small
+  // persistent positive bias — a ratchet that saturates whichever action
+  // currently dominates. Removing the episode mean leaves only the relative
+  // signal between actions, which is what the policy gradient needs.
+  std::vector<double> advantages(steps.size());
+  double advantage_mean = 0.0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    advantages[i] = returns[i] - critic.forward(steps[i].state)[0];
+    advantage_mean += advantages[i];
+  }
+  advantage_mean /= static_cast<double>(steps.size());
+
+  // Entropy weight with linear warmup (see A3CConfig), measured from the
+  // current initialization's start.
+  const std::size_t warmup_start = warmup_start_.load();
+  const std::size_t episodes_total = episodes_.load();
+  const std::size_t episodes_done =
+      episodes_total > warmup_start ? episodes_total - warmup_start : 0;
+  double beta = config_.entropy_beta;
+  if (config_.entropy_warmup_episodes > 0 &&
+      episodes_done < config_.entropy_warmup_episodes &&
+      config_.entropy_beta_initial > beta) {
+    const double progress = static_cast<double>(episodes_done) /
+                            static_cast<double>(config_.entropy_warmup_episodes);
+    beta = config_.entropy_beta_initial +
+           (config_.entropy_beta - config_.entropy_beta_initial) * progress;
+  }
+
+  // Accumulate gradients: actor ascends log π(a|s)·A + β·H(π); critic
+  // descends (V - R)^2. Both losses are averaged over the episode.
+  const double inv_n = 1.0 / static_cast<double>(steps.size());
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const std::vector<double> v_out = critic.forward(steps[i].state);
+    const double advantage = advantages[i] - advantage_mean;
+
+    const std::vector<double> logits = actor.forward(steps[i].state);
+    const std::vector<double> pi = nn::softmax(logits);
+    const double h = nn::entropy(pi);
+    std::vector<double> grad_logits(kActionCount);
+    for (std::size_t a = 0; a < kActionCount; ++a) {
+      // d(-log π(a*))/dz_a = π_a - 1{a = a*}; scaled by the advantage.
+      const double pg =
+          (pi[a] - (a == steps[i].action ? 1.0 : 0.0)) * advantage;
+      // Entropy ascent: dH/dz_a = -π_a (log π_a + H); descend its negative.
+      const double ent =
+          beta * pi[a] * (std::log(std::max(pi[a], 1e-12)) + h);
+      grad_logits[a] = (pg + ent) * inv_n;
+    }
+    actor.backward(grad_logits);
+
+    const std::vector<double> grad_v{2.0 * (v_out[0] - returns[i]) * inv_n};
+    critic.backward(grad_v);
+  }
+
+  std::vector<double> actor_grads = actor.collect_gradients(/*zero_after=*/true);
+  std::vector<double> critic_grads = critic.collect_gradients(/*zero_after=*/true);
+  nn::clip_by_global_norm(actor_grads, config_.grad_clip_norm);
+  nn::clip_by_global_norm(critic_grads, config_.grad_clip_norm);
+
+  {
+    std::scoped_lock lock(param_mutex_);
+    std::vector<double> shared_actor = actor_.snapshot_parameters();
+    actor_opt_->step(shared_actor, actor_grads);
+    actor_.load_parameters(shared_actor);
+    std::vector<double> shared_critic = critic_.snapshot_parameters();
+    critic_opt_->step(shared_critic, critic_grads);
+    critic_.load_parameters(shared_critic);
+  }
+  return outcome;
+}
+
+void A3CAgent::train(const trace::RequestTrace& trace,
+                     const pricing::PricingPolicy& policy,
+                     const TrainOptions& options) {
+  if (trace.file_count() == 0)
+    throw std::invalid_argument("A3CAgent::train: empty trace");
+  const std::size_t h = featurizer_.history_len();
+  if (trace.days() < h + 2)
+    throw std::invalid_argument("A3CAgent::train: trace shorter than history");
+
+  // File sampling weights: oversample the files where decisions carry
+  // information — high-variability files (re-tiering opportunities),
+  // popular files (where a wrong tier is expensive), and files near the
+  // static tier boundary (where the policy's classification is actually
+  // contested; everything else is trivially one-tier). Uniform sampling
+  // would spend >80% of episodes on near-dead stationary files (Fig. 2).
+  std::vector<double> weights(trace.file_count(), 1.0);
+  if (config_.sample_by_variability) {
+    for (std::size_t i = 0; i < trace.file_count(); ++i) {
+      const auto id = static_cast<trace::FileId>(i);
+      const trace::FileRecord& f = trace.file(id);
+      const double mean_reads = stats::mean(f.reads);
+      const double mean_writes = stats::mean(f.writes);
+      // Static decision margin: relative cost gap between the best and
+      // second-best tier at the file's average usage. Near-zero margin =
+      // boundary file.
+      double best = std::numeric_limits<double>::infinity();
+      double second = best;
+      for (pricing::StorageTier t : pricing::all_tiers()) {
+        const double cost = sim::file_day_cost_no_change(
+                                policy, t, mean_reads, mean_writes, f.size_gb)
+                                .total();
+        if (cost < best) {
+          second = best;
+          best = cost;
+        } else if (cost < second) {
+          second = cost;
+        }
+      }
+      const double margin = best > 0.0 ? (second - best) / best : 1.0;
+      weights[i] = 0.3 + trace.variability(id) +
+                   0.25 * std::log1p(mean_reads) + 2.0 / (1.0 + 10.0 * margin);
+    }
+  }
+
+  const std::uint64_t epoch = worker_epoch_++;
+  std::size_t remaining = options.episodes;
+  std::size_t round = 0;
+
+  // Init racing (see A3CConfig::init_candidates): probe several fresh
+  // initializations, keep the best performer's parameters.
+  const std::size_t probe = config_.candidate_probe_episodes;
+  if (episodes_.load() == 0 && config_.init_candidates > 1 && probe > 1 &&
+      options.episodes >= (config_.init_candidates + 1) * probe) {
+    double best_reward = -std::numeric_limits<double>::infinity();
+    std::vector<double> best_actor, best_critic;
+    for (std::size_t candidate = 0; candidate < config_.init_candidates;
+         ++candidate) {
+      if (candidate > 0) {
+        util::Rng init = seed_rng_.fork(0xBEEF00 + candidate);
+        std::scoped_lock lock(param_mutex_);
+        actor_ = make_actor(config_, featurizer_, init);
+        critic_ = make_critic(config_, featurizer_, init);
+        actor_opt_ = make_optimizer(config_);
+        critic_opt_ = make_optimizer(config_);
+      }
+      warmup_start_.store(episodes_.load());
+      run_batch(trace, policy, weights, probe / 2, epoch, round++);
+      const EpisodeOutcome second_half =
+          run_batch(trace, policy, weights, probe - probe / 2, epoch, round++);
+      const double mean_reward =
+          second_half.steps > 0
+              ? second_half.reward_sum / static_cast<double>(second_half.steps)
+              : 0.0;
+      if (mean_reward > best_reward) {
+        best_reward = mean_reward;
+        std::scoped_lock lock(param_mutex_);
+        best_actor = actor_.snapshot_parameters();
+        best_critic = critic_.snapshot_parameters();
+      }
+      remaining -= probe;
+    }
+    {
+      std::scoped_lock lock(param_mutex_);
+      actor_.load_parameters(best_actor);
+      critic_.load_parameters(best_critic);
+      actor_opt_ = make_optimizer(config_);
+      critic_opt_ = make_optimizer(config_);
+    }
+    // The winner continues mid-schedule: give it the post-warmup floor.
+    warmup_start_.store(episodes_.load() >= config_.entropy_warmup_episodes
+                            ? episodes_.load() - config_.entropy_warmup_episodes
+                            : 0);
+    if (options.on_progress) {
+      TrainProgress progress;
+      progress.episodes_done = episodes_.load();
+      progress.env_steps = env_steps_.load();
+      progress.mean_reward = best_reward;
+      progress.mean_step_cost = 0.0;
+      options.on_progress(progress);
+    }
+  }
+
+  while (remaining > 0) {
+    const std::size_t batch =
+        std::min(remaining, std::max<std::size_t>(1, options.report_every));
+    remaining -= batch;
+    const EpisodeOutcome outcome =
+        run_batch(trace, policy, weights, batch, epoch, round++);
+    if (options.on_progress) {
+      TrainProgress progress;
+      progress.episodes_done = episodes_.load();
+      progress.env_steps = env_steps_.load();
+      progress.mean_reward =
+          outcome.steps > 0
+              ? outcome.reward_sum / static_cast<double>(outcome.steps)
+              : 0.0;
+      progress.mean_step_cost =
+          outcome.steps > 0
+              ? outcome.cost_sum / static_cast<double>(outcome.steps)
+              : 0.0;
+      options.on_progress(progress);
+    }
+  }
+}
+
+A3CAgent::EpisodeOutcome A3CAgent::run_batch(
+    const trace::RequestTrace& trace, const pricing::PricingPolicy& policy,
+    const std::vector<double>& weights, std::size_t batch, std::uint64_t epoch,
+    std::size_t round) {
+  const std::size_t h = featurizer_.history_len();
+  const std::size_t max_start = trace.days() - 1;  // at least one step
+
+  std::atomic<std::int64_t> todo{static_cast<std::int64_t>(batch)};
+  std::mutex stats_mutex;
+  EpisodeOutcome total;
+
+  auto worker_fn = [&](std::size_t worker_id) {
+    util::Rng rng = seed_rng_.fork(1 + epoch * 1013 + round * 131 + worker_id);
+    TieringEnv env(trace, policy, featurizer_, config_.reward);
+    nn::Network actor = make_actor(config_, featurizer_, rng);
+    nn::Network critic = make_critic(config_, featurizer_, rng);
+    EpisodeOutcome local;
+    while (todo.fetch_sub(1) > 0) {
+      const auto file = static_cast<trace::FileId>(rng.weighted_index(weights));
+      const std::size_t span = max_start - h;
+      const std::size_t start =
+          h + (span > 0 ? static_cast<std::size_t>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(span) - 1))
+                        : 0);
+      const std::size_t end = std::min(start + config_.episode_len, trace.days());
+      const EpisodeOutcome outcome =
+          run_episode(env, actor, critic, file, start, end, rng);
+      local.reward_sum += outcome.reward_sum;
+      local.cost_sum += outcome.cost_sum;
+      local.steps += outcome.steps;
+      episodes_.fetch_add(1);
+      env_steps_.fetch_add(outcome.steps);
+    }
+    std::scoped_lock lock(stats_mutex);
+    total.reward_sum += local.reward_sum;
+    total.cost_sum += local.cost_sum;
+    total.steps += local.steps;
+  };
+
+  if (config_.workers == 1) {
+    worker_fn(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(config_.workers);
+    for (std::size_t w = 0; w < config_.workers; ++w)
+      threads.emplace_back(worker_fn, w);
+    for (auto& t : threads) t.join();
+  }
+  return total;
+}
+
+Action A3CAgent::act(std::span<const double> features, bool greedy) {
+  const std::vector<double> pi = policy_probabilities(features);
+  if (greedy) return nn::argmax(pi);
+  util::Rng rng = seed_rng_.fork(0xAC7 + env_steps_.load());
+  if (rng.bernoulli(config_.epsilon))
+    return static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
+  return rng.weighted_index(pi);
+}
+
+Action A3CAgent::act(const trace::FileRecord& file, std::size_t day,
+                     pricing::StorageTier current_tier, bool greedy) {
+  return act(featurizer_.encode(file, day, current_tier), greedy);
+}
+
+std::vector<double> A3CAgent::policy_probabilities(
+    std::span<const double> features) {
+  std::scoped_lock lock(param_mutex_);
+  return nn::softmax(actor_.forward(features));
+}
+
+double A3CAgent::value(std::span<const double> features) {
+  std::scoped_lock lock(param_mutex_);
+  return critic_.forward(features)[0];
+}
+
+void A3CAgent::save(const std::filesystem::path& path) const {
+  std::scoped_lock lock(param_mutex_);
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("A3CAgent::save: cannot open " + path.string());
+  nn::save_network(actor_, out);
+  nn::save_network(critic_, out);
+}
+
+void A3CAgent::load(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("A3CAgent::load: cannot open " + path.string());
+  nn::Network actor = nn::load_network(in);
+  nn::Network critic = nn::load_network(in);
+  std::scoped_lock lock(param_mutex_);
+  if (actor.parameter_count() != actor_.parameter_count() ||
+      critic.parameter_count() != critic_.parameter_count())
+    throw std::runtime_error("A3CAgent::load: architecture mismatch");
+  actor_ = std::move(actor);
+  critic_ = std::move(critic);
+}
+
+std::size_t A3CAgent::parameter_count() const noexcept {
+  return actor_.parameter_count() + critic_.parameter_count();
+}
+
+}  // namespace minicost::rl

@@ -1,0 +1,96 @@
+#pragma once
+// Deep Q-Network agent with experience replay — the literal reading of the
+// paper's Algorithm 1, whose line 7 "randomly select[s] a set of actions
+// (s_t, a_t, r_t, s_{t+1}) from the memory of neural network": a replay
+// buffer. (The paper's prose wraps this in A3C; rl/a3c.hpp implements that
+// reading, this class implements the DQN-with-replay one. The bench suite
+// compares them.)
+//
+// Standard double-DQN machinery: an online Q-network selects the
+// bootstrap action, a periodically synced target network evaluates it,
+// minibatches are sampled uniformly from the replay buffer, exploration is
+// ε-greedy with the same sticky-hold scheme A3C uses (one-step deviations
+// are punished by the tier-change cost; see rl/a3c.hpp).
+
+#include <cstdint>
+#include <deque>
+
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "pricing/policy.hpp"
+#include "rl/env.hpp"
+#include "rl/feature.hpp"
+#include "rl/mdp.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::rl {
+
+struct DqnConfig {
+  FeatureConfig features;
+
+  // Network (same trunk family as the A3C nets).
+  std::size_t filters = 32;
+  std::size_t kernel = 4;
+  std::size_t hidden = 32;
+
+  // Learning.
+  double gamma = 0.9;
+  double learning_rate = 0.003;
+  double epsilon = 0.1;
+  double epsilon_hold_mean = 3.0;
+  std::size_t batch_size = 32;
+  std::size_t replay_capacity = 50'000;
+  std::size_t min_replay = 500;       ///< warm-up before updates start
+  std::size_t target_sync_every = 500;  ///< gradient steps between syncs
+  std::size_t episode_len = 14;
+  double grad_clip_norm = 5.0;
+
+  RewardConfig reward;
+  bool randomize_initial_tier = true;
+  bool sample_by_variability = true;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(DqnConfig config, std::uint64_t seed);
+
+  const DqnConfig& config() const noexcept { return config_; }
+  const Featurizer& featurizer() const noexcept { return featurizer_; }
+
+  /// Trains for `episodes` episodes on random files of the trace.
+  void train(const trace::RequestTrace& trace,
+             const pricing::PricingPolicy& policy, std::size_t episodes);
+
+  /// Greedy action: argmax_a Q(s, a).
+  Action act(std::span<const double> features);
+  Action act(const trace::FileRecord& file, std::size_t day,
+             pricing::StorageTier current_tier);
+
+  /// Q(s, ·) of the online network.
+  std::vector<double> q_values(std::span<const double> features);
+
+  std::size_t replay_size() const noexcept { return replay_.size(); }
+  std::size_t gradient_steps() const noexcept { return gradient_steps_; }
+
+ private:
+  struct Transition {
+    std::vector<double> state;
+    Action action = 0;
+    double reward = 0.0;
+    std::vector<double> next_state;  ///< empty when terminal
+  };
+
+  void remember(Transition transition);
+  void learn_minibatch();
+
+  DqnConfig config_;
+  Featurizer featurizer_;
+  nn::Network online_;
+  nn::Network target_;
+  nn::Sgd optimizer_;
+  std::deque<Transition> replay_;
+  std::size_t gradient_steps_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace minicost::rl

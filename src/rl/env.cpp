@@ -1,0 +1,63 @@
+#include "rl/env.hpp"
+
+#include <stdexcept>
+
+namespace minicost::rl {
+
+TieringEnv::TieringEnv(const trace::RequestTrace& trace,
+                       const pricing::PricingPolicy& policy,
+                       Featurizer featurizer, RewardConfig reward)
+    : trace_(trace),
+      policy_(policy),
+      featurizer_(std::move(featurizer)),
+      reward_(reward) {}
+
+std::vector<double> TieringEnv::reset(trace::FileId file,
+                                      pricing::StorageTier initial_tier,
+                                      std::optional<std::size_t> start_day,
+                                      std::optional<std::size_t> end_day) {
+  const std::size_t h = featurizer_.history_len();
+  start_day_ = start_day.value_or(h);
+  end_day_ = end_day.value_or(trace_.days());
+  if (start_day_ < h)
+    throw std::out_of_range("TieringEnv::reset: start before full history");
+  if (end_day_ > trace_.days() || start_day_ >= end_day_)
+    throw std::out_of_range("TieringEnv::reset: bad episode window");
+  file_ = file;
+  day_ = start_day_;
+  tier_ = initial_tier;
+  active_ = true;
+  return featurizer_.encode(trace_.file(file_), day_, tier_);
+}
+
+StepResult TieringEnv::step(Action action) {
+  if (!active_) throw std::logic_error("TieringEnv::step: episode finished");
+  if (action >= kActionCount)
+    throw std::out_of_range("TieringEnv::step: bad action");
+
+  const trace::FileRecord& f = trace_.file(file_);
+  const pricing::StorageTier target = pricing::tier_from_index(action);
+  const sim::CostBreakdown cost = sim::file_day_cost(
+      policy_, target, tier_, f.reads[day_], f.writes[day_], f.size_gb);
+  // Hot-tier day cost: the reward normalizer for kInverseRelative (see
+  // rl/mdp.hpp). Action-independent, so it never changes the optimal policy.
+  const double baseline =
+      sim::file_day_cost_no_change(policy_, pricing::StorageTier::kHot,
+                                   f.reads[day_], f.writes[day_], f.size_gb)
+          .total();
+  tier_ = target;
+  ++day_;
+
+  StepResult result;
+  result.cost = cost.total();
+  result.reward = reward_from_cost(result.cost, baseline, reward_);
+  result.done = day_ >= end_day_;
+  if (result.done) {
+    active_ = false;
+  } else {
+    result.state = featurizer_.encode(f, day_, tier_);
+  }
+  return result;
+}
+
+}  // namespace minicost::rl

@@ -1,0 +1,101 @@
+#include "rl/qlearn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/cost_model.hpp"
+
+namespace minicost::rl {
+namespace {
+
+constexpr std::size_t kTrendBuckets = 3;  // falling / flat / rising
+
+}  // namespace
+
+QLearningAgent::QLearningAgent(QLearnConfig config, std::uint64_t seed)
+    : config_(config),
+      q_(config.rate_buckets * kTrendBuckets * pricing::kTierCount *
+             kActionCount,
+         0.0),
+      rng_(seed) {}
+
+std::size_t QLearningAgent::state_count() const noexcept {
+  return config_.rate_buckets * kTrendBuckets * pricing::kTierCount;
+}
+
+std::size_t QLearningAgent::state_index(const trace::FileRecord& file,
+                                        std::size_t day,
+                                        pricing::StorageTier tier) const {
+  const double yesterday = day > 0 ? file.reads[day - 1] : 0.0;
+  // log-spaced buckets: bucket = floor(log2(1 + rate)), clamped.
+  const auto rate_bucket = std::min(
+      config_.rate_buckets - 1,
+      static_cast<std::size_t>(std::log2(1.0 + yesterday)));
+
+  std::size_t trend = 1;  // flat
+  if (day >= 8) {
+    const double week_ago = file.reads[day - 8];
+    if (yesterday > 1.5 * week_ago + 0.1) trend = 2;
+    else if (1.5 * yesterday + 0.1 < week_ago) trend = 0;
+  }
+
+  return (rate_bucket * kTrendBuckets + trend) * pricing::kTierCount +
+         pricing::tier_index(tier);
+}
+
+void QLearningAgent::train(const trace::RequestTrace& trace,
+                           const pricing::PricingPolicy& policy,
+                           std::size_t episodes, std::size_t episode_len) {
+  const std::size_t days = trace.days();
+  for (std::size_t e = 0; e < episodes; ++e) {
+    const auto file = static_cast<trace::FileId>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(trace.file_count()) - 1));
+    const trace::FileRecord& f = trace.file(file);
+    const std::size_t max_start = days > episode_len ? days - episode_len : 1;
+    const std::size_t start = static_cast<std::size_t>(
+        rng_.uniform_int(1, static_cast<std::int64_t>(max_start)));
+
+    pricing::StorageTier tier = config_.initial_tier;
+    for (std::size_t day = start;
+         day < std::min(days, start + episode_len); ++day) {
+      const std::size_t s = state_index(f, day, tier);
+      Action a;
+      if (rng_.bernoulli(config_.epsilon)) {
+        a = static_cast<Action>(rng_.uniform_int(0, kActionCount - 1));
+      } else {
+        a = act(f, day, tier);
+      }
+      const auto target = pricing::tier_from_index(a);
+      const double cost =
+          sim::file_day_cost(policy, target, tier, f.reads[day], f.writes[day],
+                             f.size_gb)
+              .total();
+      const double baseline =
+          sim::file_day_cost_no_change(policy, pricing::StorageTier::kHot,
+                                       f.reads[day], f.writes[day], f.size_gb)
+              .total();
+      const double r = reward_from_cost(cost, baseline, config_.reward);
+      tier = target;
+
+      double best_next = 0.0;
+      if (day + 1 < std::min(days, start + episode_len)) {
+        const std::size_t s2 = state_index(f, day + 1, tier);
+        best_next = *std::max_element(
+            q_.begin() + static_cast<std::ptrdiff_t>(s2 * kActionCount),
+            q_.begin() + static_cast<std::ptrdiff_t>((s2 + 1) * kActionCount));
+      }
+      double& q = q_[s * kActionCount + a];
+      q += config_.learning_rate * (r + config_.gamma * best_next - q);
+    }
+  }
+}
+
+Action QLearningAgent::act(const trace::FileRecord& file, std::size_t day,
+                           pricing::StorageTier tier) const {
+  const std::size_t s = state_index(file, day, tier);
+  const auto begin = q_.begin() + static_cast<std::ptrdiff_t>(s * kActionCount);
+  return static_cast<Action>(
+      std::max_element(begin, begin + kActionCount) - begin);
+}
+
+}  // namespace minicost::rl

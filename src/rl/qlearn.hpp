@@ -1,0 +1,56 @@
+#pragma once
+// Tabular Q-learning reference agent on a discretized state (recent request
+// rate bucket x short-term trend x current tier). Far weaker than the
+// A3C agent but fully deterministic and easy to reason about — used by
+// tests as a sanity baseline and by the feature-ablation bench.
+
+#include <cstdint>
+#include <vector>
+
+#include "pricing/policy.hpp"
+#include "rl/env.hpp"
+#include "rl/mdp.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace minicost::rl {
+
+struct QLearnConfig {
+  double learning_rate = 0.1;
+  double gamma = 0.95;
+  double epsilon = 0.1;
+  std::size_t rate_buckets = 12;  ///< log-spaced daily-read-rate buckets
+  RewardConfig reward;
+  pricing::StorageTier initial_tier = pricing::StorageTier::kHot;
+};
+
+class QLearningAgent {
+ public:
+  QLearningAgent(QLearnConfig config, std::uint64_t seed);
+
+  /// Discretizes (yesterday's reads, week-over-week trend, tier).
+  std::size_t state_index(const trace::FileRecord& file, std::size_t day,
+                          pricing::StorageTier tier) const;
+
+  std::size_t state_count() const noexcept;
+
+  /// Trains for `episodes` episodes of `episode_len` days on random files.
+  void train(const trace::RequestTrace& trace,
+             const pricing::PricingPolicy& policy, std::size_t episodes,
+             std::size_t episode_len = 14);
+
+  /// Greedy action for the file/day.
+  Action act(const trace::FileRecord& file, std::size_t day,
+             pricing::StorageTier tier) const;
+
+  double q_value(std::size_t state, Action action) const {
+    return q_.at(state * kActionCount + action);
+  }
+
+ private:
+  QLearnConfig config_;
+  std::vector<double> q_;
+  util::Rng rng_;
+};
+
+}  // namespace minicost::rl

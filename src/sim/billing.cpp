@@ -1,0 +1,44 @@
+#include "sim/billing.hpp"
+
+#include <stdexcept>
+
+namespace minicost::sim {
+
+BillingReport::BillingReport(std::size_t files, std::size_t days)
+    : per_day_(days), per_file_total_(files, 0.0), per_day_changes_(days, 0) {}
+
+void BillingReport::charge(trace::FileId file, std::size_t day,
+                           const CostBreakdown& cost) {
+  grand_total_ += cost;
+  per_day_.at(day) += cost;
+  per_file_total_.at(file) += cost.total();
+}
+
+void BillingReport::count_change(std::size_t day) {
+  ++tier_changes_;
+  ++per_day_changes_.at(day);
+}
+
+double BillingReport::cumulative_through(std::size_t d) const {
+  if (d >= per_day_.size())
+    throw std::out_of_range("BillingReport::cumulative_through");
+  double total = 0.0;
+  for (std::size_t i = 0; i <= d; ++i) total += per_day_[i].total();
+  return total;
+}
+
+void BillingReport::merge(const BillingReport& other) {
+  if (other.per_day_.size() != per_day_.size() ||
+      other.per_file_total_.size() != per_file_total_.size())
+    throw std::invalid_argument("BillingReport::merge: shape mismatch");
+  grand_total_ += other.grand_total_;
+  for (std::size_t d = 0; d < per_day_.size(); ++d) {
+    per_day_[d] += other.per_day_[d];
+    per_day_changes_[d] += other.per_day_changes_[d];
+  }
+  for (std::size_t f = 0; f < per_file_total_.size(); ++f)
+    per_file_total_[f] += other.per_file_total_[f];
+  tier_changes_ += other.tier_changes_;
+}
+
+}  // namespace minicost::sim

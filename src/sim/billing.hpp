@@ -1,0 +1,55 @@
+#pragma once
+// Billing reports: what the simulator hands back after running a tier
+// assignment plan over a trace. Carries enough detail to regenerate every
+// figure (totals vs days, per-file costs for per-bucket breakdowns, the
+// Cs/Cc/Cr/Cw decomposition, tier-change counts).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::sim {
+
+class BillingReport {
+ public:
+  BillingReport() = default;
+  BillingReport(std::size_t files, std::size_t days);
+
+  /// Records one file-day charge.
+  void charge(trace::FileId file, std::size_t day, const CostBreakdown& cost);
+
+  /// Records a tier change event for statistics.
+  void count_change(std::size_t day);
+
+  std::size_t days() const noexcept { return per_day_.size(); }
+  std::size_t file_count() const noexcept { return per_file_total_.size(); }
+
+  const CostBreakdown& grand_total() const noexcept { return grand_total_; }
+  const CostBreakdown& day(std::size_t d) const { return per_day_.at(d); }
+  double file_total(trace::FileId f) const { return per_file_total_.at(f); }
+  const std::vector<double>& per_file_totals() const noexcept {
+    return per_file_total_;
+  }
+  std::uint64_t tier_changes() const noexcept { return tier_changes_; }
+  std::uint64_t tier_changes_on(std::size_t day) const {
+    return per_day_changes_.at(day);
+  }
+
+  /// Cumulative total cost through day d inclusive (the Figure 7/13 series).
+  double cumulative_through(std::size_t d) const;
+
+  /// Merges a report over the same shape (parallel accumulation). Throws
+  /// std::invalid_argument on shape mismatch.
+  void merge(const BillingReport& other);
+
+ private:
+  CostBreakdown grand_total_;
+  std::vector<CostBreakdown> per_day_;
+  std::vector<double> per_file_total_;
+  std::vector<std::uint64_t> per_day_changes_;
+  std::uint64_t tier_changes_ = 0;
+};
+
+}  // namespace minicost::sim

@@ -1,0 +1,45 @@
+#include "sim/latency.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::sim {
+
+LatencyModel::LatencyModel()
+    : LatencyModel(std::array<TierLatency, pricing::kTierCount>{
+          TierLatency{10.0, 60.0},            // hot
+          TierLatency{30.0, 200.0},           // cool
+          TierLatency{3.6e6, 5.4e7},          // archive: 1 h median, 15 h p99
+      }) {}
+
+LatencyModel::LatencyModel(std::array<TierLatency, pricing::kTierCount> tiers)
+    : tiers_(tiers) {
+  for (const TierLatency& latency : tiers_) {
+    if (latency.median_ms < 0.0 || latency.p99_ms < latency.median_ms)
+      throw std::invalid_argument(
+          "LatencyModel: need 0 <= median <= p99 per tier");
+  }
+}
+
+double LatencyModel::sample_ms(pricing::StorageTier t,
+                               util::Rng& rng) const noexcept {
+  const TierLatency& latency = tier(t);
+  if (latency.median_ms <= 0.0) return 0.0;
+  // Lognormal with mu = ln(median); sigma from p99/median ratio
+  // (Phi^-1(0.99) = 2.326).
+  const double mu = std::log(latency.median_ms);
+  const double ratio = latency.p99_ms / latency.median_ms;
+  const double sigma = ratio > 1.0 ? std::log(ratio) / 2.326 : 0.0;
+  return rng.lognormal(mu, sigma);
+}
+
+pricing::StorageTier LatencyModel::coldest_satisfying(
+    double max_p99_ms) const noexcept {
+  for (std::size_t i = pricing::kTierCount; i-- > 0;) {
+    const auto t = pricing::tier_from_index(i);
+    if (satisfies(t, max_p99_ms)) return t;
+  }
+  return pricing::StorageTier::kHot;
+}
+
+}  // namespace minicost::sim

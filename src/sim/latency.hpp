@@ -1,0 +1,53 @@
+#pragma once
+// Tier access-latency model. Money is not the only tier difference: cool
+// reads are slower than hot, and archive objects must be rehydrated (hours
+// on the 2020 offerings) before the first byte. Production deployments
+// therefore bound which tiers a file may occupy by its latency SLO — the
+// reason a cost-only optimizer like the paper's Greedy plausibly never
+// touches archive (see core/greedy.hpp), made explicit and enforceable
+// via core::SloConstrainedPolicy.
+
+#include <array>
+
+#include "pricing/tier.hpp"
+#include "util/rng.hpp"
+
+namespace minicost::sim {
+
+/// Access latency summary for one tier, in milliseconds.
+struct TierLatency {
+  double median_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+class LatencyModel {
+ public:
+  /// 2020-era object-store defaults: hot ~10 ms, cool ~30 ms (per-request),
+  /// archive ~1 h median rehydration with a 15 h tail.
+  LatencyModel();
+
+  /// Throws std::invalid_argument if any latency is negative or a p99 is
+  /// below its median.
+  explicit LatencyModel(std::array<TierLatency, pricing::kTierCount> tiers);
+
+  const TierLatency& tier(pricing::StorageTier t) const noexcept {
+    return tiers_[pricing::tier_index(t)];
+  }
+
+  /// Draws one access latency: lognormal matched to (median, p99).
+  double sample_ms(pricing::StorageTier t, util::Rng& rng) const noexcept;
+
+  /// True when the tier's p99 meets a ceiling of `max_p99_ms`.
+  bool satisfies(pricing::StorageTier t, double max_p99_ms) const noexcept {
+    return tier(t).p99_ms <= max_p99_ms;
+  }
+
+  /// The coldest (cheapest-at-rest) tier whose p99 meets the ceiling;
+  /// falls back to hot when none do (hot is the best effort available).
+  pricing::StorageTier coldest_satisfying(double max_p99_ms) const noexcept;
+
+ private:
+  std::array<TierLatency, pricing::kTierCount> tiers_;
+};
+
+}  // namespace minicost::sim

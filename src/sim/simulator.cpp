@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace minicost::sim {
+
+StorageSimulator::StorageSimulator(const trace::RequestTrace& trace,
+                                   const pricing::PricingPolicy& policy,
+                                   SimulatorOptions options)
+    : trace_(trace),
+      policy_(policy),
+      options_(std::move(options)),
+      tiers_(options_.initial_tiers.empty()
+                 ? std::vector<pricing::StorageTier>(trace.file_count(),
+                                                     options_.initial_tier)
+                 : options_.initial_tiers),
+      report_(trace.file_count(), trace.days()) {
+  if (tiers_.size() != trace.file_count())
+    throw std::invalid_argument(
+        "StorageSimulator: initial_tiers width mismatch");
+}
+
+void StorageSimulator::advance(const DayPlan& plan) {
+  if (day_ >= trace_.days())
+    throw std::out_of_range("StorageSimulator::advance: past trace horizon");
+  if (plan.size() != trace_.file_count())
+    throw std::invalid_argument("StorageSimulator::advance: plan width " +
+                                std::to_string(plan.size()) + " != file count " +
+                                std::to_string(trace_.file_count()));
+
+  const bool charge_change = day_ > 0 || options_.charge_initial_placement;
+  const auto& files = trace_.files();
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const auto id = static_cast<trace::FileId>(i);
+    const trace::FileRecord& f = files[i];
+    const pricing::StorageTier tier = plan[i];
+    CostBreakdown cost = file_day_cost_no_change(
+        policy_, tier, f.reads[day_], f.writes[day_], f.size_gb);
+    if (tier != tiers_[i]) {
+      if (charge_change)
+        cost.change = policy_.change_cost(tiers_[i], tier, f.size_gb);
+      report_.count_change(day_);
+      tiers_[i] = tier;
+    }
+    report_.charge(id, day_, cost);
+  }
+  ++day_;
+}
+
+const BillingReport& StorageSimulator::run(const HorizonPlan& plan) {
+  for (const DayPlan& day_plan : plan) advance(day_plan);
+  return report_;
+}
+
+void StorageSimulator::reset() {
+  day_ = 0;
+  if (options_.initial_tiers.empty()) {
+    tiers_.assign(trace_.file_count(), options_.initial_tier);
+  } else {
+    tiers_ = options_.initial_tiers;
+  }
+  report_ = BillingReport(trace_.file_count(), trace_.days());
+}
+
+BillingReport simulate(const trace::RequestTrace& trace,
+                       const pricing::PricingPolicy& policy,
+                       const HorizonPlan& plan, SimulatorOptions options) {
+  StorageSimulator sim(trace, policy, options);
+  sim.run(plan);
+  return sim.report();
+}
+
+double file_sequence_cost(const pricing::PricingPolicy& policy,
+                          const trace::FileRecord& file,
+                          const std::vector<pricing::StorageTier>& tiers,
+                          pricing::StorageTier initial_tier,
+                          bool charge_initial) {
+  double total = 0.0;
+  pricing::StorageTier previous = initial_tier;
+  for (std::size_t t = 0; t < tiers.size(); ++t) {
+    CostBreakdown cost = file_day_cost_no_change(
+        policy, tiers[t], file.reads.at(t), file.writes.at(t), file.size_gb);
+    if (tiers[t] != previous && (t > 0 || charge_initial))
+      cost.change = policy.change_cost(previous, tiers[t], file.size_gb);
+    total += cost.total();
+    previous = tiers[t];
+  }
+  return total;
+}
+
+}  // namespace minicost::sim

@@ -1,0 +1,77 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::stats {
+
+ZipfSampler::ZipfSampler(double s, std::uint64_t n) : s_(s), n_(n) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be positive");
+  if (s <= 0.0) throw std::invalid_argument("ZipfSampler: s must be positive");
+  // Rejection-inversion over the hat function h(x) = (x + 1/2)^-s.
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+  shift_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const noexcept { return std::pow(x, -s_); }
+
+double ZipfSampler::h_integral(double x) const noexcept {
+  const double log_x = std::log(x);
+  // ∫ x^-s dx, handling s == 1 (log) and the general power-law antiderivative
+  // via a numerically stable expm1/log1p form near s == 1.
+  auto helper = [](double t) {
+    if (std::abs(t) > 1e-8) return std::expm1(t) / t;
+    return 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + 0.25 * t));
+  };
+  return log_x * helper((1.0 - s_) * log_x);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const noexcept {
+  auto helper = [](double t) {
+    if (std::abs(t) > 1e-8) return std::log1p(t) / t;
+    return 1.0 - t * (0.5 - t * (1.0 / 3.0 - 0.25 * t));
+  };
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;  // guard against rounding below the domain
+  return std::exp(helper(t) * x);
+}
+
+std::uint64_t ZipfSampler::sample(util::Rng& rng) const noexcept {
+  while (true) {
+    const double u =
+        h_integral_num_elements_ +
+        rng.next_double() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= shift_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k;
+    }
+  }
+}
+
+std::vector<double> zipf_pmf(double s, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("zipf_pmf: n must be positive");
+  std::vector<double> pmf(n);
+  double norm = 0.0;
+  for (std::uint64_t k = 1; k <= n; ++k) {
+    pmf[k - 1] = std::pow(static_cast<double>(k), -s);
+    norm += pmf[k - 1];
+  }
+  for (double& p : pmf) p /= norm;
+  return pmf;
+}
+
+double bounded_pareto(util::Rng& rng, double alpha, double lo, double hi) {
+  if (!(alpha > 0.0) || !(lo > 0.0) || !(hi > lo))
+    throw std::invalid_argument("bounded_pareto: require alpha>0, 0<lo<hi");
+  const double u = rng.next_double();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+}  // namespace minicost::stats

@@ -1,0 +1,48 @@
+#pragma once
+// Heavy-tail samplers for the synthetic Wikipedia-like workload: article
+// popularity follows a Zipf law; the paper sets per-page data sizes by a
+// Poisson distribution with mean 100 MB (Sec. 3.1).
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace minicost::stats {
+
+/// Zipf(s, n) sampler over ranks {1..n}: P(k) ∝ k^-s.
+///
+/// Uses rejection-inversion (Hörmann & Derflinger 1996), O(1) per draw with
+/// no table, so it scales to millions of ranks.
+class ZipfSampler {
+ public:
+  /// Throws std::invalid_argument if n == 0 or s <= 0.
+  ZipfSampler(double s, std::uint64_t n);
+
+  /// Draws a rank in [1, n].
+  std::uint64_t sample(util::Rng& rng) const noexcept;
+
+  double exponent() const noexcept { return s_; }
+  std::uint64_t size() const noexcept { return n_; }
+
+ private:
+  double h(double x) const noexcept;
+  double h_integral(double x) const noexcept;
+  double h_integral_inverse(double x) const noexcept;
+
+  double s_;
+  std::uint64_t n_;
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double shift_;
+};
+
+/// Normalized Zipf probability masses for ranks 1..n (for small n, e.g.
+/// building expected-value tables in tests).
+std::vector<double> zipf_pmf(double s, std::uint64_t n);
+
+/// Bounded Pareto sampler on [lo, hi] with tail index alpha; used for
+/// optional heavy-tailed file-size experiments.
+double bounded_pareto(util::Rng& rng, double alpha, double lo, double hi);
+
+}  // namespace minicost::stats

@@ -1,0 +1,65 @@
+#include "stats/error_metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace minicost::stats {
+namespace {
+
+void check_same_size(std::span<const double> a, std::span<const double> b,
+                     const char* what) {
+  if (a.size() != b.size()) throw std::invalid_argument(std::string(what) + ": length mismatch");
+}
+
+}  // namespace
+
+double relative_error(double truth, double predicted) noexcept {
+  if (truth == 0.0) {
+    if (predicted == 0.0) return 0.0;
+    return predicted > 0.0 ? -1.0 : 1.0;
+  }
+  return (truth - predicted) / truth;
+}
+
+std::vector<double> relative_errors(std::span<const double> truth,
+                                    std::span<const double> predicted) {
+  check_same_size(truth, predicted, "relative_errors");
+  std::vector<double> errors(truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    errors[i] = relative_error(truth[i], predicted[i]);
+  return errors;
+}
+
+double mape(std::span<const double> truth, std::span<const double> predicted) {
+  check_same_size(truth, predicted, "mape");
+  double total = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    total += std::abs((truth[i] - predicted[i]) / truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : total / static_cast<double>(n);
+}
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  check_same_size(truth, predicted, "rmse");
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    total += d * d;
+  }
+  return std::sqrt(total / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  check_same_size(truth, predicted, "mae");
+  if (truth.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    total += std::abs(truth[i] - predicted[i]);
+  return total / static_cast<double>(truth.size());
+}
+
+}  // namespace minicost::stats

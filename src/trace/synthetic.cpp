@@ -1,0 +1,198 @@
+#include "trace/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace minicost::trace {
+namespace {
+
+/// Builds one file's daily read-rate series with target coefficient of
+/// variation `cv`, mean `mean_rate`, and a weekly cycle. Decomposition:
+///   r_t = mean * seasonal_t * noise_t * spike_t,   clamped at >= 0
+/// where the relative magnitudes of the three factors are chosen so the
+/// realized CV lands near the target:
+///   cv^2 ~= cv_seasonal^2 + cv_noise^2 + cv_spike^2  (independent factors).
+/// Low targets are met with seasonality + noise only; targets above 0.5 add
+/// the flash-crowd spike process (rare multi-day bursts), which is what
+/// makes those files hard to forecast (paper Fig. 4) and profitable to
+/// re-tier (paper Fig. 3).
+std::vector<double> synthesize_reads(std::size_t days, double mean_rate,
+                                     double cv, double spike_days_mean,
+                                     double spikes_per_horizon,
+                                     util::Rng& rng) {
+  // Split the CV budget.
+  double cv_seasonal = 0.0, cv_noise = 0.0, cv_spike = 0.0;
+  if (cv <= 0.5) {
+    cv_seasonal = 0.8 * cv;
+    cv_noise = 0.6 * cv;  // 0.64 + 0.36 = 1.0 of the squared budget
+  } else {
+    cv_seasonal = 0.35;
+    cv_noise = 0.20;
+    const double residual = cv * cv - cv_seasonal * cv_seasonal - cv_noise * cv_noise;
+    cv_spike = std::sqrt(std::max(0.0, residual));
+  }
+
+  // Weekly sinusoid: CV of 1 + A*sin is A/sqrt(2).
+  const double amplitude = std::min(0.95, cv_seasonal * std::numbers::sqrt2);
+  const double phase = rng.uniform(0.0, 7.0);
+
+  // Spike process: expected `spikes_per_horizon` bursts, each lasting
+  // Geometric(1/spike_days_mean) days with multiplicative lift M, where M is
+  // solved from cv_spike^2 = p*M^2 with p the expected fraction of burst
+  // days. (Exact for a two-point {1, 1+M} mixture up to the p^2 term.)
+  const double burst_day_fraction =
+      std::min(0.5, spikes_per_horizon * spike_days_mean / static_cast<double>(days));
+  const double lift = burst_day_fraction > 0.0 && cv_spike > 0.0
+                          ? cv_spike / std::sqrt(burst_day_fraction)
+                          : 0.0;
+
+  // Burst schedule: flash-crowd files get at least one burst inside the
+  // horizon (a spiky file that never spikes would silently fall into a
+  // lower variability bucket and skew the Fig. 2 calibration). Bursts start
+  // uniformly at random and last ~Geometric(1/spike_days_mean) days.
+  std::vector<bool> burst_day(days, false);
+  if (lift > 0.0) {
+    std::size_t bursts = std::max<std::uint64_t>(
+        1, rng.poisson(std::max(0.0, spikes_per_horizon)));
+    for (std::size_t b = 0; b < bursts; ++b) {
+      const auto start = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(days) - 1));
+      std::size_t t = start;
+      do {
+        burst_day[t++] = true;
+      } while (t < days && spike_days_mean > 1.0 &&
+               !rng.bernoulli(1.0 / spike_days_mean));
+    }
+  }
+
+  std::vector<double> reads(days);
+  for (std::size_t t = 0; t < days; ++t) {
+    const double seasonal =
+        1.0 + amplitude * std::sin(2.0 * std::numbers::pi *
+                                   (static_cast<double>(t) + phase) / 7.0);
+    const double noise = std::max(0.0, 1.0 + rng.normal(0.0, cv_noise));
+    const double spike = burst_day[t] ? 1.0 + lift : 1.0;
+    reads[t] = std::max(0.0, mean_rate * seasonal * noise * spike);
+  }
+  return reads;
+}
+
+}  // namespace
+
+std::vector<BucketRange> variability_bucket_ranges() {
+  // The last bucket is the paper's open-ended ">0.8": flash-crowd files
+  // whose CV reaches well past 2 (a 10x two-day burst on a quiet baseline
+  // alone contributes CV ~1.8).
+  return {{0.02, 0.10}, {0.10, 0.30}, {0.30, 0.50}, {0.50, 0.80}, {0.90, 3.00}};
+}
+
+RequestTrace generate_synthetic(const SyntheticConfig& config) {
+  if (config.file_count == 0)
+    throw std::invalid_argument("generate_synthetic: file_count must be > 0");
+  if (config.days < 2)
+    throw std::invalid_argument("generate_synthetic: need at least 2 days");
+  std::vector<double> shares = config.bucket_shares.empty()
+                                   ? stats::paper_fig2_shares()
+                                   : config.bucket_shares;
+  const auto ranges = variability_bucket_ranges();
+  if (shares.size() != ranges.size())
+    throw std::invalid_argument("generate_synthetic: need one share per bucket");
+  if (config.bucket_popularity_boost.size() != ranges.size())
+    throw std::invalid_argument("generate_synthetic: need one boost per bucket");
+  if (config.group_size_min < 2 || config.group_size_max < config.group_size_min)
+    throw std::invalid_argument("generate_synthetic: bad group size range");
+
+  util::Rng root(config.seed);
+  std::vector<FileRecord> files(config.file_count);
+
+  for (std::size_t i = 0; i < config.file_count; ++i) {
+    util::Rng rng = root.fork(i);  // per-file stream: file i is identical
+                                   // regardless of generation order/threading
+    FileRecord& f = files[i];
+    f.name = "article_" + std::to_string(i);
+
+    // Popularity: heavy-tailed, i.i.d. across files (see header).
+    double mean_rate =
+        stats::bounded_pareto(rng, config.popularity_alpha,
+                              config.floor_daily_reads, config.peak_daily_reads);
+
+    // Variability bucket and target CV.
+    const std::size_t bucket = rng.weighted_index(shares);
+    const BucketRange range = ranges[bucket];
+    const double cv = rng.uniform(range.lo, range.hi);
+    mean_rate *= config.bucket_popularity_boost[bucket];
+
+    f.reads = synthesize_reads(config.days, mean_rate, cv,
+                               config.spike_days_mean,
+                               config.spike_rate_per_horizon, rng);
+
+    // Writes: proportional to reads plus a small base update rate.
+    f.writes.resize(config.days);
+    for (std::size_t t = 0; t < config.days; ++t) {
+      const double jitter = std::max(0.0, 1.0 + rng.normal(0.0, 0.1));
+      f.writes[t] = std::max(
+          0.0, config.write_read_ratio * f.reads[t] +
+                   config.base_write_rate * jitter);
+    }
+
+    // Size: Poisson in MB with mean 100 (paper Sec. 3.1), constant over the
+    // horizon.
+    const double size_mb = std::max(
+        config.min_size_mb, static_cast<double>(rng.poisson(config.mean_size_mb)));
+    f.size_gb = size_mb / 1024.0;
+  }
+
+  // Co-request groups: partition a random subset of files into small groups
+  // ("files linked to one webpage"); the concurrent frequency r_dc is a
+  // per-group share of the least-requested member's rate, which guarantees
+  // r_dc <= every member's own frequency. Members are popularity-sorted
+  // before grouping: the assets of one page share its audience, so a
+  // popular page's images are all popular — random grouping would instead
+  // make r_dc collapse to the rate of the least popular (unrelated) member.
+  std::vector<CoRequestGroup> groups;
+  {
+    util::Rng rng = root.fork(0xC0FFEE);
+    std::vector<FileId> pool(config.file_count);
+    for (std::size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<FileId>(i);
+    rng.shuffle(pool);
+    const auto grouped = static_cast<std::size_t>(
+        config.grouped_file_fraction * static_cast<double>(config.file_count));
+    std::sort(pool.begin(), pool.begin() + static_cast<std::ptrdiff_t>(grouped),
+              [&](FileId a, FileId b) {
+                return stats::mean(files[a].reads) > stats::mean(files[b].reads);
+              });
+    std::size_t next = 0;
+    while (next + config.group_size_min <= grouped) {
+      const std::size_t size = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(config.group_size_min),
+          static_cast<std::int64_t>(config.group_size_max)));
+      if (next + size > grouped) break;
+      CoRequestGroup group;
+      group.members.assign(pool.begin() + static_cast<std::ptrdiff_t>(next),
+                           pool.begin() + static_cast<std::ptrdiff_t>(next + size));
+      next += size;
+      const double concurrency =
+          rng.uniform(config.concurrency_min, config.concurrency_max);
+      group.concurrent_reads.resize(config.days);
+      for (std::size_t t = 0; t < config.days; ++t) {
+        double least = files[group.members[0]].reads[t];
+        for (FileId m : group.members) least = std::min(least, files[m].reads[t]);
+        group.concurrent_reads[t] = concurrency * least;
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  RequestTrace trace(config.days, std::move(files), std::move(groups));
+  trace.validate();
+  return trace;
+}
+
+}  // namespace minicost::trace

@@ -1,0 +1,122 @@
+#include "trace/trace_io.hpp"
+
+#include <charconv>
+#include <stdexcept>
+#include <string>
+
+#include "util/csv.hpp"
+
+namespace minicost::trace {
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+double to_double(const std::string& field, const char* what) {
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::runtime_error(std::string("load_trace: bad number in ") + what +
+                             ": '" + field + "'");
+  return value;
+}
+
+}  // namespace
+
+void save_trace(const RequestTrace& trace, const std::filesystem::path& path) {
+  util::CsvWriter out(path);
+  out.row({"minicost-trace", std::to_string(kFormatVersion),
+           std::to_string(trace.days())});
+  const std::size_t days = trace.days();
+  for (const FileRecord& f : trace.files()) {
+    std::vector<std::string> row;
+    row.reserve(3 + 2 * days);
+    row.push_back("file");
+    row.push_back(f.name);
+    char buf[64];
+    auto push_number = [&](double v) {
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+      (void)ec;
+      row.emplace_back(buf, ptr);
+    };
+    push_number(f.size_gb);
+    for (double r : f.reads) push_number(r);
+    for (double w : f.writes) push_number(w);
+    out.row(row);
+  }
+  for (const CoRequestGroup& g : trace.groups()) {
+    std::vector<std::string> row;
+    row.reserve(2 + days);
+    row.push_back("group");
+    std::string members;
+    for (std::size_t i = 0; i < g.members.size(); ++i) {
+      if (i != 0) members.push_back(';');
+      members += std::to_string(g.members[i]);
+    }
+    row.push_back(std::move(members));
+    char buf[64];
+    for (double c : g.concurrent_reads) {
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, c);
+      (void)ec;
+      row.emplace_back(buf, ptr);
+    }
+    out.row(row);
+  }
+}
+
+RequestTrace load_trace(const std::filesystem::path& path) {
+  const auto rows = util::read_csv(path);
+  if (rows.empty() || rows[0].size() < 3 || rows[0][0] != "minicost-trace")
+    throw std::runtime_error("load_trace: not a minicost trace file: " +
+                             path.string());
+  if (to_double(rows[0][1], "version") != kFormatVersion)
+    throw std::runtime_error("load_trace: unsupported version");
+  const auto days = static_cast<std::size_t>(to_double(rows[0][2], "days"));
+
+  std::vector<FileRecord> files;
+  std::vector<CoRequestGroup> groups;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.empty()) continue;
+    if (row[0] == "file") {
+      if (row.size() != 3 + 2 * days)
+        throw std::runtime_error("load_trace: bad file row width");
+      FileRecord f;
+      f.name = row[1];
+      f.size_gb = to_double(row[2], "size_gb");
+      f.reads.reserve(days);
+      f.writes.reserve(days);
+      for (std::size_t t = 0; t < days; ++t)
+        f.reads.push_back(to_double(row[3 + t], "reads"));
+      for (std::size_t t = 0; t < days; ++t)
+        f.writes.push_back(to_double(row[3 + days + t], "writes"));
+      files.push_back(std::move(f));
+    } else if (row[0] == "group") {
+      if (row.size() != 2 + days)
+        throw std::runtime_error("load_trace: bad group row width");
+      CoRequestGroup g;
+      const std::string& members = row[1];
+      std::size_t start = 0;
+      while (start <= members.size()) {
+        const std::size_t sep = members.find(';', start);
+        const std::string token =
+            members.substr(start, sep == std::string::npos ? sep : sep - start);
+        if (!token.empty())
+          g.members.push_back(static_cast<FileId>(to_double(token, "member")));
+        if (sep == std::string::npos) break;
+        start = sep + 1;
+      }
+      g.concurrent_reads.reserve(days);
+      for (std::size_t t = 0; t < days; ++t)
+        g.concurrent_reads.push_back(to_double(row[2 + t], "concurrent"));
+      groups.push_back(std::move(g));
+    } else {
+      throw std::runtime_error("load_trace: unknown record type '" + row[0] + "'");
+    }
+  }
+  RequestTrace trace(days, std::move(files), std::move(groups));
+  trace.validate();
+  return trace;
+}
+
+}  // namespace minicost::trace

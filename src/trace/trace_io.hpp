@@ -1,0 +1,22 @@
+#pragma once
+// Trace persistence: a simple versioned CSV container so generated traces
+// can be cached on disk and shared between the benches and examples.
+
+#include <filesystem>
+
+#include "trace/trace.hpp"
+
+namespace minicost::trace {
+
+/// Writes the trace. Layout (one record per line):
+///   minicost-trace,1,<days>
+///   file,<name>,<size_gb>,<r_0>,...,<r_{T-1}>,<w_0>,...,<w_{T-1}>
+///   group,<m_0;m_1;...>,<c_0>,...,<c_{T-1}>
+/// Throws std::runtime_error if the file cannot be written.
+void save_trace(const RequestTrace& trace, const std::filesystem::path& path);
+
+/// Reads a trace written by save_trace. Throws std::runtime_error on I/O or
+/// format errors; the result passes RequestTrace::validate().
+RequestTrace load_trace(const std::filesystem::path& path);
+
+}  // namespace minicost::trace

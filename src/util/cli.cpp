@@ -1,0 +1,91 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace minicost::util {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& default_value,
+                   const std::string& help) {
+  flags_[name] = Flag{default_value, help, std::nullopt};
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::cerr << program_ << ": unknown flag --" << name << "\n" << usage();
+      return false;
+    }
+    if (!has_value) {
+      // --flag value form, unless the next token is another flag or absent
+      // (then treat as boolean true).
+      if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const Cli::Flag& Cli::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end())
+    throw std::invalid_argument("Cli: undeclared flag --" + name);
+  return it->second;
+}
+
+std::string Cli::str(const std::string& name) const {
+  const Flag& flag = find(name);
+  return flag.value.value_or(flag.default_value);
+}
+
+std::int64_t Cli::integer(const std::string& name) const {
+  return std::strtoll(str(name).c_str(), nullptr, 10);
+}
+
+double Cli::real(const std::string& name) const {
+  return std::strtod(str(name).c_str(), nullptr);
+}
+
+bool Cli::boolean(const std::string& name) const {
+  const std::string v = str(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream out;
+  out << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default: " << flag.default_value << ")\n      "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace minicost::util

@@ -1,0 +1,50 @@
+#pragma once
+// Small command-line flag parser shared by the bench harnesses and examples.
+// Supports --name=value, --name value, and boolean --name forms, with typed
+// accessors and an auto-generated --help.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace minicost::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Declares a flag and its default; must be called before parse().
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or an
+  /// unknown/ malformed flag. Positional arguments are collected in order.
+  bool parse(int argc, const char* const* argv);
+
+  std::string str(const std::string& name) const;
+  std::int64_t integer(const std::string& name) const;
+  double real(const std::string& name) const;
+  bool boolean(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string default_value;
+    std::string help;
+    std::optional<std::string> value;
+  };
+
+  const Flag& find(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace minicost::util

@@ -1,0 +1,67 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace minicost::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::once_flag g_env_once;
+
+void init_from_env() {
+  if (const char* env = std::getenv("MINICOST_LOG")) {
+    g_level.store(parse_log_level(env));
+  }
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  std::call_once(g_env_once, init_from_env);
+  return g_level.load();
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  const auto now = std::chrono::system_clock::now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count();
+  std::scoped_lock lock(mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), level_name(level),
+               message.c_str());
+}
+
+}  // namespace detail
+}  // namespace minicost::util

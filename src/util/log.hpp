@@ -1,0 +1,50 @@
+#pragma once
+// Leveled stderr logger. Thread-safe line-at-a-time output; level settable
+// via MINICOST_LOG (trace|debug|info|warn|error), default info.
+
+#include <sstream>
+#include <string>
+
+namespace minicost::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "debug" etc.; unknown strings map to kInfo.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG_AT(LogLevel::kInfo) << "x=" << x;
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { detail::log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace minicost::util
+
+#define MINICOST_LOG(level)                                       \
+  if (static_cast<int>(level) <                                   \
+      static_cast<int>(::minicost::util::log_level())) {          \
+  } else                                                          \
+    ::minicost::util::LogStatement(level)
+
+#define MINICOST_LOG_INFO MINICOST_LOG(::minicost::util::LogLevel::kInfo)
+#define MINICOST_LOG_DEBUG MINICOST_LOG(::minicost::util::LogLevel::kDebug)
+#define MINICOST_LOG_WARN MINICOST_LOG(::minicost::util::LogLevel::kWarn)
+#define MINICOST_LOG_ERROR MINICOST_LOG(::minicost::util::LogLevel::kError)

@@ -1,0 +1,114 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <sstream>
+
+namespace minicost::util {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = 0;
+  if (cell[0] == '-' || cell[0] == '+' || cell[0] == '$') i = 1;
+  bool any_digit = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != ',' && c != 'e' && c != 'E' && c != '-' &&
+               c != '+' && c != '%') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(std::max(cells.size(), std::size_t{0}));
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::string& label, const std::vector<double>& values,
+                    int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  add_row(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::size_t columns = headers_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(headers_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < row.size() ? row[i] : std::string();
+      const bool right = align_numeric && looks_numeric(cell);
+      if (i != 0) out << "  ";
+      if (right) {
+        out << std::string(widths[i] - cell.size(), ' ') << cell;
+      } else {
+        out << cell << std::string(widths[i] - cell.size(), ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit(headers_, false);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < columns; ++i) total += widths[i] + (i ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const { out << to_string(); }
+
+std::string format_double(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string format_money(double dollars) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(2);
+  if (dollars < 0) {
+    out << "-$" << -dollars;
+  } else {
+    out << '$' << dollars;
+  }
+  return out.str();
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) grouped.push_back(',');
+    grouped.push_back(digits[i]);
+  }
+  return grouped;
+}
+
+}  // namespace minicost::util

@@ -1,0 +1,44 @@
+#pragma once
+// Aligned plain-text table printer. Every figure-reproduction bench prints
+// its series through this so the console output mirrors the paper's rows.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace minicost::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty),
+  /// extra cells are kept and widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for mixed label + numeric rows.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 6);
+
+  /// Renders with a header underline and right-aligned numeric-looking cells.
+  std::string to_string() const;
+
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (no trailing-zero trimming).
+std::string format_double(double value, int precision = 6);
+
+/// Formats a dollar amount, e.g. 12345.678 -> "$12345.68".
+std::string format_money(double dollars);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string format_count(std::uint64_t n);
+
+}  // namespace minicost::util

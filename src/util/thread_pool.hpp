@@ -1,0 +1,66 @@
+#pragma once
+// Fixed-size worker thread pool with a simple task queue, plus a blocking
+// parallel_for used for the library's embarrassingly parallel loops
+// (per-file DP, ARIMA fits, policy evaluation). Degrades to useful behaviour
+// on a single hardware thread: parallel_for then runs chunks inline.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace minicost::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future resolves with the task's result
+  /// (or its exception).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
+  /// chunks across the pool; blocks until all chunks complete. Exceptions
+  /// from any chunk are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool sized by hardware concurrency. Intended for
+  /// library internals; experiments that need determinism independent of
+  /// thread count must make per-index work independent (all ours is).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace minicost::util

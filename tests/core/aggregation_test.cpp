@@ -1,0 +1,227 @@
+#include "core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace minicost::core {
+namespace {
+
+using pricing::PricingPolicy;
+using pricing::StorageTier;
+
+TEST(AggregationCoefficientTest, SignMatchesEquation15) {
+  // Property (DESIGN.md): Ω > 0 <=> Eq. (15)'s benefit condition
+  // r_dc > u_p ΣD / ((n-1) u_rf), for many random parameterizations.
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  util::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 4));
+    const double sum_size = rng.uniform(0.05, 2.0);
+    const double rdc = rng.uniform(0.0, 500.0);
+    const std::size_t period = 7;
+    const double u_rf = azure.read_op_price(StorageTier::kHot);
+    const double u_p = azure.storage_cost_per_day(StorageTier::kHot, 1.0) *
+                       static_cast<double>(period);
+    const double threshold =
+        u_p * sum_size / (static_cast<double>(n - 1) * u_rf) /
+        static_cast<double>(period);  // per-day r_dc threshold
+    const double omega = aggregation_coefficient(
+        azure, StorageTier::kHot, n, sum_size, rdc, period);
+    EXPECT_EQ(omega > 0.0, rdc > threshold)
+        << "n=" << n << " sum=" << sum_size << " rdc=" << rdc;
+  }
+}
+
+TEST(AggregationCoefficientTest, SavingHasSameSignAsOmega) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  util::Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t n = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const double sum_size = rng.uniform(0.05, 1.0);
+    const double rdc = rng.uniform(0.0, 2000.0);
+    const double omega =
+        aggregation_coefficient(azure, StorageTier::kHot, n, sum_size, rdc, 7);
+    const double saving =
+        aggregation_saving(azure, StorageTier::kHot, n, sum_size, rdc, 7);
+    if (omega > 1e-9) {
+      EXPECT_GT(saving, 0.0);
+    }
+    if (omega < -1e-9) {
+      EXPECT_LT(saving, 0.0);
+    }
+  }
+}
+
+TEST(AggregationCoefficientTest, MoreMembersHelp) {
+  // Ω grows with n (more operations saved per concurrent request).
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const double o2 =
+      aggregation_coefficient(azure, StorageTier::kHot, 2, 0.2, 50.0, 7);
+  const double o5 =
+      aggregation_coefficient(azure, StorageTier::kHot, 5, 0.2, 50.0, 7);
+  EXPECT_GT(o5, o2);
+}
+
+TEST(AggregationCoefficientTest, RejectsBadInputs) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  EXPECT_THROW(
+      aggregation_coefficient(azure, StorageTier::kHot, 1, 0.2, 1.0, 7),
+      std::invalid_argument);
+  EXPECT_THROW(
+      aggregation_coefficient(azure, StorageTier::kHot, 2, 0.0, 1.0, 7),
+      std::invalid_argument);
+}
+
+trace::RequestTrace grouped_trace() {
+  trace::SyntheticConfig config;
+  config.file_count = 300;
+  config.days = 28;
+  config.seed = 43;
+  config.grouped_file_fraction = 0.5;
+  config.floor_daily_reads = 2.0;  // a lively site: every asset gets traffic
+  return trace::generate_synthetic(config);
+}
+
+TEST(EvaluateGroupsTest, OrdersByDescendingOmegaAndSelectsTopPsi) {
+  const trace::RequestTrace tr = grouped_trace();
+  // Op-heavy prices make many groups profitable so selection is exercised.
+  const PricingPolicy pricing =
+      pricing::with_op_price_multiplier(PricingPolicy::azure_2020(), 500.0);
+  AggregationConfig config;
+  config.top_psi = 5;
+  const auto evaluations = evaluate_groups(tr, pricing, config, 0);
+  ASSERT_EQ(evaluations.size(), tr.groups().size());
+  for (std::size_t i = 1; i < evaluations.size(); ++i)
+    EXPECT_GE(evaluations[i - 1].omega, evaluations[i].omega);
+  std::size_t selected = 0;
+  for (const auto& eval : evaluations) {
+    if (eval.selected) {
+      ++selected;
+      EXPECT_GT(eval.omega, 0.0);
+    }
+  }
+  EXPECT_LE(selected, config.top_psi);
+  EXPECT_GT(selected, 0u);
+}
+
+TEST(EvaluateGroupsTest, NegativeOmegaNeverSelected) {
+  const trace::RequestTrace tr = grouped_trace();
+  // Default prices: per-10k op prices make aggregation nearly never pay
+  // (the EXPERIMENTS.md finding).
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  AggregationConfig config;
+  config.top_psi = 1000;
+  for (const auto& eval : evaluate_groups(tr, azure, config, 0)) {
+    if (eval.selected) EXPECT_GT(eval.omega, 0.0);
+  }
+}
+
+TEST(ApplyAggregationTest, RewritesTracePerSection52) {
+  const trace::RequestTrace tr = grouped_trace();
+  const PricingPolicy pricing =
+      pricing::with_op_price_multiplier(PricingPolicy::azure_2020(), 500.0);
+  AggregationConfig config;
+  config.top_psi = 3;
+  const auto evaluations = evaluate_groups(tr, pricing, config, 0);
+  std::vector<trace::FileId> replicas;
+  const trace::RequestTrace rewritten =
+      apply_aggregation(tr, evaluations, &replicas);
+
+  std::size_t selected = 0;
+  for (const auto& e : evaluations) selected += e.selected;
+  ASSERT_GT(selected, 0u);
+  EXPECT_EQ(rewritten.file_count(), tr.file_count() + selected);
+  EXPECT_EQ(replicas.size(), selected);
+  EXPECT_EQ(rewritten.groups().size(), tr.groups().size() - selected);
+  EXPECT_NO_THROW(rewritten.validate());
+
+  // Per selected group: replica reads = concurrent series; member reads
+  // reduced by it; replica size = sum of member sizes.
+  std::size_t replica_index = 0;
+  for (const auto& eval : evaluations) {
+    if (!eval.selected) continue;
+    const trace::CoRequestGroup& group = tr.groups()[eval.group_index];
+    const trace::FileRecord& replica =
+        rewritten.file(replicas[replica_index++]);
+    EXPECT_EQ(replica.reads, group.concurrent_reads);
+    double sum_size = 0.0;
+    for (trace::FileId m : group.members) {
+      sum_size += tr.file(m).size_gb;
+      for (std::size_t t = 0; t < tr.days(); ++t) {
+        EXPECT_NEAR(rewritten.file(m).reads[t],
+                    std::max(0.0, tr.file(m).reads[t] -
+                                      group.concurrent_reads[t]),
+                    1e-12);
+      }
+    }
+    EXPECT_NEAR(replica.size_gb, sum_size, 1e-12);
+  }
+}
+
+TEST(ApplyAggregationTest, TotalReadOpsShrinkByAggregation) {
+  const trace::RequestTrace tr = grouped_trace();
+  const PricingPolicy pricing =
+      pricing::with_op_price_multiplier(PricingPolicy::azure_2020(), 500.0);
+  AggregationConfig config;
+  const auto evaluations = evaluate_groups(tr, pricing, config, 0);
+  const trace::RequestTrace rewritten = apply_aggregation(tr, evaluations);
+
+  auto total_reads = [](const trace::RequestTrace& t) {
+    double total = 0.0;
+    for (const auto& f : t.files())
+      for (double r : f.reads) total += r;
+    return total;
+  };
+  std::size_t selected = 0;
+  for (const auto& e : evaluations) selected += e.selected;
+  if (selected == 0) GTEST_SKIP() << "nothing selected";
+  EXPECT_LT(total_reads(rewritten), total_reads(tr));
+}
+
+TEST(AggregationControllerTest, AdmitsAndEvictsPerAlgorithm2) {
+  const trace::RequestTrace tr = grouped_trace();
+  const PricingPolicy pricing =
+      pricing::with_op_price_multiplier(PricingPolicy::azure_2020(), 500.0);
+  AggregationConfig config;
+  config.top_psi = 4;
+  config.eviction_periods = 2;
+  AggregationController controller(pricing, config);
+  const auto& active0 = controller.on_period_start(tr, 0);
+  EXPECT_LE(active0.size(), 4u + tr.groups().size());
+  EXPECT_FALSE(active0.empty());
+  // Re-evaluating the same period keeps a stable active set.
+  const auto first = active0;
+  const auto& active1 = controller.on_period_start(tr, 7);
+  EXPECT_FALSE(active1.empty());
+  (void)first;
+}
+
+TEST(AggregationControllerTest, EvictsAfterConsecutiveNegativePeriods) {
+  // Build a trace whose group concurrency collapses to zero after day 7.
+  std::vector<trace::FileRecord> files;
+  files.push_back({"a", 0.1, std::vector<double>(28, 100.0),
+                   std::vector<double>(28, 0.0)});
+  files.push_back({"b", 0.1, std::vector<double>(28, 100.0),
+                   std::vector<double>(28, 0.0)});
+  std::vector<trace::CoRequestGroup> groups;
+  std::vector<double> concurrent(28, 0.0);
+  for (int t = 0; t < 7; ++t) concurrent[t] = 80.0;
+  groups.push_back({{0, 1}, concurrent});
+  const trace::RequestTrace tr(28, std::move(files), std::move(groups));
+
+  const PricingPolicy pricing =
+      pricing::with_op_price_multiplier(PricingPolicy::azure_2020(), 500.0);
+  AggregationConfig config;
+  config.eviction_periods = 2;
+  AggregationController controller(pricing, config);
+  EXPECT_EQ(controller.on_period_start(tr, 0).size(), 1u);   // profitable week
+  EXPECT_EQ(controller.on_period_start(tr, 7).size(), 1u);   // 1st bad week: kept
+  EXPECT_EQ(controller.on_period_start(tr, 14).size(), 0u);  // 2nd bad week: evicted
+  EXPECT_EQ(controller.evictions(), 1u);
+}
+
+}  // namespace
+}  // namespace minicost::core

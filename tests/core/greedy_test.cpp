@@ -1,0 +1,111 @@
+#include "core/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::core {
+namespace {
+
+using pricing::PricingPolicy;
+using pricing::StorageTier;
+
+// A trace with one controllable file.
+trace::RequestTrace one_file(std::vector<double> reads) {
+  std::vector<trace::FileRecord> files;
+  const std::size_t days = reads.size();
+  trace::FileRecord f;
+  f.name = "f";
+  f.size_gb = 0.1;
+  f.reads = std::move(reads);
+  f.writes.assign(days, 0.0);
+  files.push_back(std::move(f));
+  return trace::RequestTrace(days, std::move(files));
+}
+
+TEST(GreedyPolicyTest, UsesYesterdaysObservation) {
+  // Day 2 rates are huge but yesterday (day 1) was dead: greedy keeps cool.
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 500.0, 500.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 4, initial};
+  GreedyPolicy greedy;
+  EXPECT_EQ(greedy.decide(context, 0, 2, StorageTier::kCool),
+            StorageTier::kCool);
+  // On day 3 it has seen day 2's burst and moves to hot.
+  EXPECT_EQ(greedy.decide(context, 0, 3, StorageTier::kCool),
+            StorageTier::kHot);
+}
+
+TEST(GreedyPolicyTest, ClairvoyantSeesTheDecisionDay) {
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 500.0, 500.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 4, initial};
+  ClairvoyantGreedyPolicy oracle;
+  EXPECT_EQ(oracle.decide(context, 0, 2, StorageTier::kCool),
+            StorageTier::kHot);
+}
+
+TEST(GreedyPolicyTest, TwoTierGreedyNeverEntersArchive) {
+  // The paper's Greedy weighs hot vs cold only.
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 6, initial};
+  GreedyPolicy greedy;
+  StorageTier tier = StorageTier::kCool;
+  for (std::size_t day = 1; day < 6; ++day) {
+    tier = greedy.decide(context, 0, day, tier);
+    EXPECT_NE(tier, StorageTier::kArchive);
+  }
+}
+
+TEST(GreedyPolicyTest, ThreeTierVariantUsesArchiveForDeadFiles) {
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 0.0, 0.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 4, initial};
+  GreedyPolicy greedy3(/*include_archive=*/true);
+  EXPECT_EQ(greedy3.decide(context, 0, 1, StorageTier::kCool),
+            StorageTier::kArchive);
+}
+
+TEST(GreedyPolicyTest, TwoTierGreedyMayKeepFileAlreadyInArchive) {
+  // It never moves a file INTO archive, but an inherited archive placement
+  // can persist when leaving costs more than staying.
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 0.0, 0.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kArchive);
+  const PlanContext context{tr, azure, 1, 4, initial};
+  GreedyPolicy greedy;
+  EXPECT_EQ(greedy.decide(context, 0, 1, StorageTier::kArchive),
+            StorageTier::kArchive);
+}
+
+TEST(GreedyPolicyTest, ChangeCostCreatesHysteresis) {
+  // A rate just above the hot/cool crossover: switching from cool is not
+  // worth the change cost for one day, so greedy stays put.
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const double crossover = sim::tier_crossover_reads(
+      azure, StorageTier::kHot, StorageTier::kCool, 0.1);
+  const double slightly_above = crossover * 1.05;
+  const trace::RequestTrace tr =
+      one_file({slightly_above, slightly_above, slightly_above});
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 3, initial};
+  GreedyPolicy greedy;
+  EXPECT_EQ(greedy.decide(context, 0, 1, StorageTier::kCool),
+            StorageTier::kCool);
+}
+
+TEST(GreedyPolicyTest, NamesAndKnowledge) {
+  EXPECT_EQ(GreedyPolicy().name(), "Greedy");
+  EXPECT_EQ(GreedyPolicy(true).name(), "Greedy-3tier");
+  EXPECT_EQ(GreedyPolicy().knowledge(), Knowledge::kHistory);
+  EXPECT_EQ(ClairvoyantGreedyPolicy().knowledge(), Knowledge::kNextDay);
+}
+
+}  // namespace
+}  // namespace minicost::core

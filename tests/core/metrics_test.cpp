@@ -1,0 +1,92 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimal.hpp"
+#include "core/policy.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::core {
+namespace {
+
+using pricing::StorageTier;
+
+TEST(ActionAgreementTest, IdenticalPlansAgreeFully) {
+  sim::HorizonPlan plan(3, sim::DayPlan(4, StorageTier::kHot));
+  EXPECT_DOUBLE_EQ(action_agreement(plan, plan), 1.0);
+}
+
+TEST(ActionAgreementTest, CountsMatchingCells) {
+  sim::HorizonPlan a(2, sim::DayPlan(2, StorageTier::kHot));
+  sim::HorizonPlan b = a;
+  b[0][0] = StorageTier::kCool;  // 1 of 4 differs
+  EXPECT_DOUBLE_EQ(action_agreement(a, b), 0.75);
+}
+
+TEST(ActionAgreementTest, EmptyPlansAgreeTrivially) {
+  EXPECT_DOUBLE_EQ(action_agreement({}, {}), 0.0);
+}
+
+TEST(ActionAgreementTest, RejectsShapeMismatch) {
+  sim::HorizonPlan a(2, sim::DayPlan(2, StorageTier::kHot));
+  sim::HorizonPlan b(3, sim::DayPlan(2, StorageTier::kHot));
+  EXPECT_THROW(action_agreement(a, b), std::invalid_argument);
+  sim::HorizonPlan c(2, sim::DayPlan(5, StorageTier::kHot));
+  EXPECT_THROW(action_agreement(a, c), std::invalid_argument);
+}
+
+TEST(NormalizedTest, DividesByReference) {
+  EXPECT_DOUBLE_EQ(normalized(5.0, 4.0), 1.25);
+  EXPECT_THROW(normalized(5.0, 0.0), std::invalid_argument);
+}
+
+TEST(CostByVariabilityTest, BucketsCoverAllCost) {
+  trace::SyntheticConfig config;
+  config.file_count = 200;
+  config.days = 30;
+  config.seed = 37;
+  const trace::RequestTrace tr = trace::generate_synthetic(config);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const trace::VariabilityAnalysis analysis = trace::analyze_variability(tr);
+
+  auto hot = make_hot_policy();
+  PlanOptions options;
+  options.start_day = 14;
+  const PlanResult result = run_policy(tr, azure, *hot, options);
+  const auto buckets = cost_by_variability(analysis, result);
+
+  ASSERT_EQ(buckets.size(), 5u);
+  double bucket_total = 0.0;
+  std::uint64_t files = 0;
+  for (const BucketCost& b : buckets) {
+    bucket_total += b.total_cost;
+    files += b.files;
+    if (b.files > 0) EXPECT_GT(b.cost_per_file_day, 0.0);
+  }
+  EXPECT_EQ(files, tr.file_count());
+  EXPECT_NEAR(bucket_total, result.report.grand_total().total(), 1e-9);
+}
+
+TEST(CostByVariabilityTest, PerFileDayNormalizationIsConsistent) {
+  trace::SyntheticConfig config;
+  config.file_count = 50;
+  config.days = 24;
+  config.seed = 41;
+  const trace::RequestTrace tr = trace::generate_synthetic(config);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const trace::VariabilityAnalysis analysis = trace::analyze_variability(tr);
+  auto hot = make_hot_policy();
+  PlanOptions options;
+  options.start_day = 14;
+  const PlanResult result = run_policy(tr, azure, *hot, options);
+  for (const BucketCost& b : cost_by_variability(analysis, result)) {
+    if (b.files == 0) continue;
+    EXPECT_NEAR(
+        b.cost_per_file_day,
+        b.total_cost / static_cast<double>(b.files) / 10.0 /* window days */,
+        1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace minicost::core

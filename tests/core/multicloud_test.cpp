@@ -1,0 +1,136 @@
+#include "core/multicloud.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimal.hpp"
+#include "trace/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace minicost::core {
+namespace {
+
+using pricing::PriceCatalog;
+using pricing::PricingPolicy;
+using pricing::StorageTier;
+
+MultiCloudPlanner default_planner() {
+  return MultiCloudPlanner(PriceCatalog::default_catalog());
+}
+
+TEST(MultiCloudTest, RejectsBadConstruction) {
+  EXPECT_THROW(MultiCloudPlanner(PriceCatalog{}), std::invalid_argument);
+  MultiCloudConfig config;
+  config.cross_dc_transfer_per_gb = -1.0;
+  EXPECT_THROW(MultiCloudPlanner(PriceCatalog::default_catalog(), config),
+               std::invalid_argument);
+}
+
+TEST(MultiCloudTest, PlacementIndexBijection) {
+  const MultiCloudPlanner planner = default_planner();
+  EXPECT_EQ(planner.placement_count(), 3u * pricing::kTierCount);
+  for (std::size_t i = 0; i < planner.placement_count(); ++i) {
+    EXPECT_EQ(planner.placement_index(planner.placement_from_index(i)), i);
+  }
+  EXPECT_THROW(planner.placement_from_index(99), std::out_of_range);
+}
+
+TEST(MultiCloudTest, MoveCostStructure) {
+  const MultiCloudPlanner planner = default_planner();
+  const Placement a{0, StorageTier::kHot};
+  const Placement same_dc{0, StorageTier::kCool};
+  const Placement other_dc{1, StorageTier::kHot};
+  EXPECT_DOUBLE_EQ(planner.move_cost(a, a, 1.0), 0.0);
+  // In-DC move = that DC's tier-change price.
+  EXPECT_NEAR(planner.move_cost(a, same_dc, 1.0),
+              planner.catalog().at(0).policy.tier_change_per_gb(), 1e-12);
+  // Cross-DC move includes the transfer price: strictly more expensive.
+  EXPECT_GT(planner.move_cost(a, other_dc, 1.0),
+            planner.move_cost(a, same_dc, 1.0));
+}
+
+TEST(MultiCloudTest, BestStaticPlacementMatchesRegionCharacter) {
+  const MultiCloudPlanner planner = default_planner();
+  // Dead file -> the storage-cheap cold-vault region's archive tier.
+  const Placement dead = planner.best_static_placement(0.001, 0.0, 0.1);
+  EXPECT_EQ(dead.datacenter, 1u);
+  EXPECT_EQ(dead.tier, StorageTier::kArchive);
+  // Popular file -> the access-cheap edge-serve region's hot tier.
+  const Placement popular = planner.best_static_placement(500.0, 10.0, 0.1);
+  EXPECT_EQ(popular.datacenter, 2u);
+  EXPECT_EQ(popular.tier, StorageTier::kHot);
+}
+
+TEST(MultiCloudTest, SingleDcReducesToTierDp) {
+  // With one datacenter and zero transfer price, the joint DP must equal
+  // the single-DC tier DP exactly.
+  PriceCatalog catalog;
+  catalog.add({"only", PricingPolicy::azure_2020()});
+  const MultiCloudPlanner planner{std::move(catalog)};
+
+  trace::SyntheticConfig config;
+  config.file_count = 30;
+  config.days = 20;
+  config.seed = 91;
+  const trace::RequestTrace tr = trace::generate_synthetic(config);
+  for (trace::FileId i = 0; i < tr.file_count(); ++i) {
+    const auto joint = planner.optimal_sequence(
+        tr.file(i), 0, tr.days(), Placement{0, StorageTier::kHot});
+    const auto single = optimal_sequence(PricingPolicy::azure_2020(),
+                                         tr.file(i), 0, tr.days(),
+                                         StorageTier::kHot);
+    EXPECT_NEAR(joint.cost, single.cost, 1e-9) << "file " << i;
+  }
+}
+
+TEST(MultiCloudTest, DpCostMatchesSequenceBilling) {
+  const MultiCloudPlanner planner = default_planner();
+  util::Rng rng(5);
+  trace::FileRecord f;
+  f.size_gb = 0.1;
+  f.reads.resize(12);
+  f.writes.resize(12);
+  for (std::size_t t = 0; t < 12; ++t) {
+    f.reads[t] = rng.uniform(0.0, 20.0);
+    f.writes[t] = 0.02 * f.reads[t];
+  }
+  const Placement initial{0, StorageTier::kHot};
+  const auto seq = planner.optimal_sequence(f, 0, 12, initial);
+  EXPECT_NEAR(seq.cost, planner.sequence_cost(f, seq.placements, initial),
+              1e-12);
+}
+
+TEST(MultiCloudTest, DpNeverWorseThanStayingPut) {
+  const MultiCloudPlanner planner = default_planner();
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    trace::FileRecord f;
+    f.size_gb = rng.uniform(0.05, 0.3);
+    f.reads.resize(10);
+    f.writes.assign(10, 0.05);
+    for (double& r : f.reads) r = rng.uniform(0.0, 30.0);
+    const Placement initial{0, StorageTier::kHot};
+    const auto seq = planner.optimal_sequence(f, 0, 10, initial);
+    const std::vector<Placement> stay(10, initial);
+    EXPECT_LE(seq.cost, planner.sequence_cost(f, stay, initial) + 1e-12);
+  }
+}
+
+TEST(MultiCloudTest, CompareFindsMultiCloudNoWorseThanSingle) {
+  trace::SyntheticConfig config;
+  config.file_count = 120;
+  config.days = 30;
+  config.seed = 93;
+  const trace::RequestTrace tr = trace::generate_synthetic(config);
+  const MultiCloudPlanner planner = default_planner();
+  const auto comparison = planner.compare(tr, 10, 30);
+  EXPECT_GT(comparison.best_single_dc_cost, 0.0);
+  EXPECT_LE(comparison.multi_cloud_cost,
+            comparison.best_single_dc_cost + 1e-9);
+  EXPECT_GE(comparison.saving(), -1e-9);
+  // With a structurally heterogeneous catalog the joint placement beats
+  // any single region strictly.
+  EXPECT_GT(comparison.saving(), 0.0);
+}
+
+}  // namespace
+}  // namespace minicost::core

@@ -1,0 +1,74 @@
+#include "core/rl_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::core {
+namespace {
+
+trace::RequestTrace make_trace() {
+  trace::SyntheticConfig config;
+  config.file_count = 40;
+  config.days = 40;
+  config.seed = 101;
+  return trace::generate_synthetic(config);
+}
+
+rl::A3CAgent make_agent() {
+  rl::A3CConfig config;
+  config.filters = 8;
+  config.hidden = 8;
+  config.workers = 1;
+  return rl::A3CAgent(config, 11);
+}
+
+TEST(RlPolicyTest, NameAndKnowledge) {
+  rl::A3CAgent agent = make_agent();
+  RlPolicy policy(agent);
+  EXPECT_EQ(policy.name(), "MiniCost");
+  EXPECT_EQ(policy.knowledge(), Knowledge::kHistory);
+}
+
+TEST(RlPolicyTest, StaysPutBeforeFullHistory) {
+  const trace::RequestTrace tr = make_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  rl::A3CAgent agent = make_agent();
+  RlPolicy policy(agent);
+  const std::vector<pricing::StorageTier> initial(tr.file_count(),
+                                                  pricing::StorageTier::kCool);
+  const PlanContext context{tr, azure, 0, tr.days(), initial};
+  EXPECT_EQ(policy.decide(context, 0, 3, pricing::StorageTier::kCool),
+            pricing::StorageTier::kCool);
+}
+
+TEST(RlPolicyTest, GreedyDecisionsAreDeterministic) {
+  const trace::RequestTrace tr = make_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  rl::A3CAgent agent = make_agent();
+  RlPolicy policy(agent);
+  PlanOptions options;
+  options.start_day = 20;
+  const PlanResult a = run_policy(tr, azure, policy, options);
+  const PlanResult b = run_policy(tr, azure, policy, options);
+  EXPECT_EQ(a.plan, b.plan);
+}
+
+TEST(RlPolicyTest, SampledModeStillProducesValidTiers) {
+  const trace::RequestTrace tr = make_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  rl::A3CAgent agent = make_agent();
+  RlPolicy policy(agent, /*greedy=*/false);
+  PlanOptions options;
+  options.start_day = 20;
+  const PlanResult result = run_policy(tr, azure, policy, options);
+  for (const auto& day_plan : result.plan) {
+    for (pricing::StorageTier t : day_plan) {
+      EXPECT_LT(pricing::tier_index(t), pricing::kTierCount);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minicost::core

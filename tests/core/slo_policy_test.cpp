@@ -1,0 +1,109 @@
+#include "core/slo_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/optimal.hpp"
+#include "core/planner.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::core {
+namespace {
+
+using pricing::StorageTier;
+
+trace::RequestTrace quiet_trace() {
+  // All near-dead files: the unconstrained optimum is archive everywhere.
+  std::vector<trace::FileRecord> files;
+  for (int i = 0; i < 5; ++i) {
+    files.push_back({"f" + std::to_string(i), 0.1,
+                     std::vector<double>(20, 0.01),
+                     std::vector<double>(20, 0.0)});
+  }
+  return trace::RequestTrace(20, std::move(files));
+}
+
+TEST(SloPolicyTest, UnlimitedCeilingPassesThrough) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  PlanOptions options;
+  options.start_day = 1;
+
+  OptimalPolicy inner_a;
+  const PlanResult unconstrained = run_policy(tr, azure, inner_a, options);
+
+  OptimalPolicy inner_b;
+  SloConstrainedPolicy wrapped(inner_b, sim::LatencyModel{});
+  const PlanResult constrained = run_policy(tr, azure, wrapped, options);
+
+  EXPECT_EQ(constrained.plan, unconstrained.plan);
+  EXPECT_EQ(wrapped.overrides(), 0u);
+  EXPECT_EQ(constrained.policy_name, "Optimal+SLO");
+}
+
+TEST(SloPolicyTest, InteractiveSloKeepsFilesOutOfArchive) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  PlanOptions options;
+  options.start_day = 1;
+
+  OptimalPolicy inner;
+  // 500 ms p99 ceiling: archive (hours) violates, cool (200 ms) is fine.
+  SloConstrainedPolicy wrapped(inner, sim::LatencyModel{}, {},
+                               /*default_max_p99_ms=*/500.0);
+  const PlanResult result = run_policy(tr, azure, wrapped, options);
+  for (const auto& day_plan : result.plan) {
+    for (StorageTier t : day_plan) EXPECT_NE(t, StorageTier::kArchive);
+  }
+  EXPECT_GT(wrapped.overrides(), 0u);
+}
+
+TEST(SloPolicyTest, PerFileCeilingsApplySelectively) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  PlanOptions options;
+  options.start_day = 1;
+
+  OptimalPolicy inner;
+  // File 0 is interactive; the rest are batch (anything goes).
+  std::vector<double> ceilings(tr.file_count(), 1e12);
+  ceilings[0] = 500.0;
+  SloConstrainedPolicy wrapped(inner, sim::LatencyModel{}, ceilings);
+  const PlanResult result = run_policy(tr, azure, wrapped, options);
+  for (const auto& day_plan : result.plan) {
+    EXPECT_NE(day_plan[0], StorageTier::kArchive);
+    EXPECT_EQ(day_plan[1], StorageTier::kArchive);  // batch file optimum
+  }
+}
+
+TEST(SloPolicyTest, TightCeilingForcesHot) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  PlanOptions options;
+  options.start_day = 1;
+
+  OptimalPolicy inner;
+  SloConstrainedPolicy wrapped(inner, sim::LatencyModel{}, {},
+                               /*default_max_p99_ms=*/80.0);
+  const PlanResult result = run_policy(tr, azure, wrapped, options);
+  for (const auto& day_plan : result.plan) {
+    for (StorageTier t : day_plan) EXPECT_EQ(t, StorageTier::kHot);
+  }
+}
+
+TEST(SloPolicyTest, ConstraintCostsMoneyButBoundsLatency) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  PlanOptions options;
+  options.start_day = 1;
+
+  OptimalPolicy a, b;
+  SloConstrainedPolicy wrapped(b, sim::LatencyModel{}, {}, 500.0);
+  const double unconstrained =
+      run_policy(tr, azure, a, options).report.grand_total().total();
+  const double constrained =
+      run_policy(tr, azure, wrapped, options).report.grand_total().total();
+  EXPECT_GT(constrained, unconstrained);  // the price of the SLO
+}
+
+}  // namespace
+}  // namespace minicost::core

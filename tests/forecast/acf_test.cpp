@@ -1,0 +1,74 @@
+#include "forecast/acf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace minicost::forecast {
+namespace {
+
+std::vector<double> sine_series(std::size_t n, double period) {
+  std::vector<double> xs(n);
+  for (std::size_t t = 0; t < n; ++t)
+    xs[t] = std::sin(2.0 * std::numbers::pi * t / period);
+  return xs;
+}
+
+TEST(AcfTest, PeriodicSeriesPeaksAtPeriod) {
+  const auto xs = sine_series(140, 7.0);
+  const auto rho = acf(xs, 10);
+  // Strong positive correlation at lag 7, negative near the half period.
+  EXPECT_GT(rho[6], 0.9);
+  EXPECT_LT(rho[2], 0.0);
+}
+
+TEST(AcfTest, ConstantSeriesIsAllZero) {
+  const std::vector<double> xs(50, 3.0);
+  const auto rho = acf(xs, 5);
+  for (double r : rho) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+TEST(AcfTest, WhiteNoiseHasSmallAutocorrelation) {
+  util::Rng rng(3);
+  std::vector<double> xs(5000);
+  for (double& x : xs) x = rng.normal();
+  const auto rho = acf(xs, 5);
+  for (double r : rho) EXPECT_LT(std::abs(r), 0.05);
+}
+
+TEST(AcfTest, RejectsBadInput) {
+  EXPECT_THROW(acf(std::vector<double>{}, 1), std::invalid_argument);
+  EXPECT_THROW(acf(std::vector<double>{1.0, 2.0}, 2), std::invalid_argument);
+}
+
+TEST(PacfTest, Ar1PacfCutsOffAfterLagOne) {
+  // AR(1): x_t = 0.7 x_{t-1} + e_t. PACF(1) ~ 0.7, PACF(k>1) ~ 0.
+  util::Rng rng(5);
+  std::vector<double> xs(20000);
+  xs[0] = 0.0;
+  for (std::size_t t = 1; t < xs.size(); ++t)
+    xs[t] = 0.7 * xs[t - 1] + rng.normal();
+  const auto phi = pacf(xs, 5);
+  EXPECT_NEAR(phi[0], 0.7, 0.05);
+  for (std::size_t k = 1; k < phi.size(); ++k)
+    EXPECT_LT(std::abs(phi[k]), 0.05);
+}
+
+TEST(DominantPeriodTest, FindsWeeklyCycle) {
+  const auto xs = sine_series(70, 7.0);
+  EXPECT_EQ(dominant_period(xs, 10), 7u);
+}
+
+TEST(DominantPeriodTest, NoPositiveCorrelationReturnsZero) {
+  // Alternating series: all odd-lag correlations negative, even-lag positive;
+  // use a 2-element alternation with max_lag 1 so no positive lag exists.
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_EQ(dominant_period(xs, 1), 0u);
+}
+
+}  // namespace
+}  // namespace minicost::forecast

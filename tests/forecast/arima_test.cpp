@@ -1,0 +1,173 @@
+#include "forecast/arima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace minicost::forecast {
+namespace {
+
+std::vector<double> ar1_series(std::size_t n, double phi, double mean,
+                               double noise_sd, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> xs(n);
+  xs[0] = mean;
+  for (std::size_t t = 1; t < n; ++t)
+    xs[t] = mean * (1.0 - phi) + phi * xs[t - 1] + rng.normal(0.0, noise_sd);
+  return xs;
+}
+
+TEST(ArimaDifferenceTest, FirstDifference) {
+  const std::vector<double> xs{1.0, 3.0, 6.0, 10.0};
+  const auto d1 = Arima::difference(xs, 1);
+  EXPECT_EQ(d1, (std::vector<double>{2.0, 3.0, 4.0}));
+  const auto d2 = Arima::difference(xs, 2);
+  EXPECT_EQ(d2, (std::vector<double>{1.0, 1.0}));
+}
+
+TEST(ArimaDifferenceTest, ZeroOrderIsIdentity) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(Arima::difference(xs, 0), xs);
+}
+
+TEST(ArimaDifferenceTest, TooShortThrows) {
+  EXPECT_THROW(Arima::difference(std::vector<double>{1.0}, 1),
+               std::invalid_argument);
+}
+
+TEST(ArimaTest, RejectsExcessiveDifferencing) {
+  EXPECT_THROW(Arima(ArimaOrder{1, 3, 0}), std::invalid_argument);
+}
+
+TEST(ArimaTest, FitRejectsTooShortSeries) {
+  Arima model(ArimaOrder{2, 0, 2});
+  EXPECT_THROW(model.fit(std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(ArimaTest, ForecastBeforeFitThrows) {
+  Arima model(ArimaOrder{1, 0, 0});
+  EXPECT_THROW(model.forecast(3), std::logic_error);
+}
+
+TEST(ArimaTest, MeanModelForecastsMean) {
+  Arima model(ArimaOrder{0, 0, 0});
+  const std::vector<double> xs{2.0, 4.0, 6.0, 4.0, 2.0, 4.0, 6.0, 4.0};
+  model.fit(xs);
+  const auto forecast = model.forecast(3);
+  for (double f : forecast) EXPECT_NEAR(f, 4.0, 1e-9);
+}
+
+TEST(ArimaTest, RecoversAr1Coefficient) {
+  const auto xs = ar1_series(5000, 0.7, 10.0, 1.0, 3);
+  Arima model(ArimaOrder{1, 0, 0});
+  model.fit(xs);
+  ASSERT_EQ(model.ar().size(), 1u);
+  EXPECT_NEAR(model.ar()[0], 0.7, 0.05);
+}
+
+TEST(ArimaTest, Ar1ForecastDecaysTowardMean) {
+  const auto xs = ar1_series(3000, 0.8, 5.0, 0.5, 7);
+  Arima model(ArimaOrder{1, 0, 0});
+  model.fit(xs);
+  const auto forecast = model.forecast(30);
+  // Long-horizon forecast approaches the unconditional mean.
+  EXPECT_NEAR(forecast.back(), 5.0, 0.5);
+}
+
+TEST(ArimaTest, DifferencedModelTracksLinearTrend) {
+  // x_t = 3t + small noise: ARIMA(0,1,0) forecast continues the trend.
+  util::Rng rng(9);
+  std::vector<double> xs(100);
+  for (std::size_t t = 0; t < xs.size(); ++t)
+    xs[t] = 3.0 * static_cast<double>(t) + rng.normal(0.0, 0.1);
+  Arima model(ArimaOrder{0, 1, 0});
+  model.fit(xs);
+  const auto forecast = model.forecast(5);
+  for (std::size_t h = 0; h < forecast.size(); ++h) {
+    EXPECT_NEAR(forecast[h], 3.0 * static_cast<double>(100 + h), 1.0);
+  }
+}
+
+TEST(ArimaTest, MaTermImprovesMa1SeriesFit) {
+  // MA(1): x_t = e_t + 0.6 e_{t-1}.
+  util::Rng rng(11);
+  std::vector<double> xs(4000);
+  double prev_e = rng.normal();
+  for (double& x : xs) {
+    const double e = rng.normal();
+    x = e + 0.6 * prev_e;
+    prev_e = e;
+  }
+  Arima ma_model(ArimaOrder{0, 0, 1});
+  ma_model.fit(xs);
+  ASSERT_EQ(ma_model.ma().size(), 1u);
+  EXPECT_NEAR(ma_model.ma()[0], 0.6, 0.1);
+  // And its innovation variance beats the mean-only model's.
+  Arima mean_model(ArimaOrder{0, 0, 0});
+  mean_model.fit(xs);
+  EXPECT_LT(ma_model.innovation_variance(), mean_model.innovation_variance());
+}
+
+// Property sweep: AR(1) coefficient recovery across the stationary range.
+class ArRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ArRecovery, RecoversCoefficient) {
+  const double phi = GetParam();
+  const auto xs = ar1_series(6000, phi, 5.0, 1.0, 101);
+  Arima model(ArimaOrder{1, 0, 0});
+  model.fit(xs);
+  EXPECT_NEAR(model.ar()[0], phi, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(StationaryRange, ArRecovery,
+                         ::testing::Values(-0.5, 0.0, 0.3, 0.6, 0.9));
+
+TEST(ArimaTest, ForecastLengthMatchesHorizon) {
+  const auto xs = ar1_series(200, 0.5, 1.0, 0.2, 13);
+  Arima model(ArimaOrder{1, 0, 1});
+  model.fit(xs);
+  EXPECT_EQ(model.forecast(7).size(), 7u);
+  EXPECT_EQ(model.forecast(0).size(), 0u);
+}
+
+TEST(ArimaTest, NameEncodesOrder) {
+  EXPECT_EQ(Arima(ArimaOrder{2, 1, 1}).name(), "arima(2,1,1)");
+}
+
+TEST(AutoArimaTest, SelectsReasonableModelForSeasonalish) {
+  // A weekly sinusoid plus noise: auto_arima should produce forecasts far
+  // better than predicting zero.
+  util::Rng rng(17);
+  std::vector<double> xs(55);
+  for (std::size_t t = 0; t < xs.size(); ++t)
+    xs[t] = 10.0 + 4.0 * std::sin(2.0 * std::numbers::pi * t / 7.0) +
+            rng.normal(0.0, 0.5);
+  Arima model = auto_arima(xs);
+  const auto forecast = model.forecast(7);
+  for (double f : forecast) {
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 20.0);
+  }
+}
+
+TEST(AutoArimaTest, HandlesConstantSeries) {
+  const std::vector<double> xs(30, 5.0);
+  Arima model = auto_arima(xs);
+  const auto forecast = model.forecast(3);
+  for (double f : forecast) EXPECT_NEAR(f, 5.0, 0.5);
+}
+
+TEST(AutoArimaTest, HandlesShortSeries) {
+  const std::vector<double> xs{1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0};
+  EXPECT_NO_THROW({
+    Arima model = auto_arima(xs);
+    model.forecast(7);
+  });
+}
+
+}  // namespace
+}  // namespace minicost::forecast

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "forecast/ewma.hpp"
+#include "forecast/seasonal_naive.hpp"
+
+namespace minicost::forecast {
+namespace {
+
+TEST(EwmaTest, AlphaOneTracksLastValue) {
+  Ewma model(1.0);
+  model.fit(std::vector<double>{1.0, 5.0, 9.0});
+  EXPECT_DOUBLE_EQ(model.level(), 9.0);
+  EXPECT_EQ(model.forecast(2), (std::vector<double>{9.0, 9.0}));
+}
+
+TEST(EwmaTest, SmoothsTowardRecentValues) {
+  Ewma model(0.5);
+  model.fit(std::vector<double>{0.0, 0.0, 8.0});
+  EXPECT_DOUBLE_EQ(model.level(), 4.0);
+}
+
+TEST(EwmaTest, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), std::invalid_argument);
+  EXPECT_THROW(Ewma(1.5), std::invalid_argument);
+  EXPECT_THROW(Ewma(-0.1), std::invalid_argument);
+}
+
+TEST(EwmaTest, FitRejectsEmpty) {
+  Ewma model(0.5);
+  EXPECT_THROW(model.fit(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EwmaTest, ForecastBeforeFitThrows) {
+  Ewma model(0.5);
+  EXPECT_THROW(model.forecast(1), std::logic_error);
+}
+
+TEST(EwmaTest, NameIsStable) { EXPECT_EQ(Ewma().name(), "ewma"); }
+
+TEST(SeasonalNaiveTest, RepeatsLastSeason) {
+  SeasonalNaive model(3);
+  model.fit(std::vector<double>{9.0, 9.0, 9.0, 1.0, 2.0, 3.0});
+  const auto forecast = model.forecast(7);
+  const std::vector<double> expected{1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0};
+  EXPECT_EQ(forecast, expected);
+}
+
+TEST(SeasonalNaiveTest, WeeklyDefaultMatchesPaperCycle) {
+  SeasonalNaive model;  // period 7
+  std::vector<double> xs;
+  for (int w = 0; w < 4; ++w) {
+    for (int d = 0; d < 7; ++d) xs.push_back(static_cast<double>(d));
+  }
+  model.fit(xs);
+  const auto forecast = model.forecast(7);
+  for (int d = 0; d < 7; ++d) EXPECT_DOUBLE_EQ(forecast[d], d);
+}
+
+TEST(SeasonalNaiveTest, RejectsZeroPeriod) {
+  EXPECT_THROW(SeasonalNaive(0), std::invalid_argument);
+}
+
+TEST(SeasonalNaiveTest, FitRequiresFullSeason) {
+  SeasonalNaive model(7);
+  EXPECT_THROW(model.fit(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SeasonalNaiveTest, ForecastBeforeFitThrows) {
+  SeasonalNaive model(2);
+  EXPECT_THROW(model.forecast(1), std::logic_error);
+}
+
+TEST(SeasonalNaiveTest, NameEncodesPeriod) {
+  EXPECT_EQ(SeasonalNaive(7).name(), "seasonal-naive(7)");
+}
+
+}  // namespace
+}  // namespace minicost::forecast

@@ -1,0 +1,85 @@
+#include "forecast/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "forecast/ewma.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::forecast {
+namespace {
+
+trace::RequestTrace make_trace(std::size_t files = 120) {
+  trace::SyntheticConfig config;
+  config.file_count = files;
+  config.days = 62;
+  config.seed = 21;
+  return trace::generate_synthetic(config);
+}
+
+TEST(BacktestTest, ProducesSummaryPerBucket) {
+  BacktestConfig config;
+  config.train_days = 40;
+  config.horizon = 7;
+  config.make_forecaster = [] { return std::make_unique<Ewma>(0.3); };
+  const BacktestResult result = backtest(make_trace(), config);
+  ASSERT_EQ(result.summary.size(), 5u);
+  std::uint64_t files = 0;
+  for (const auto& bucket : result.summary) files += bucket.files;
+  EXPECT_EQ(files, 120u);
+  // Percentile ordering holds wherever errors exist.
+  for (const auto& bucket : result.summary) {
+    if (bucket.files == 0) continue;
+    EXPECT_LE(bucket.p1, bucket.p50);
+    EXPECT_LE(bucket.p50, bucket.p99);
+  }
+}
+
+TEST(BacktestTest, ErrorsAreBoundedAboveByOne) {
+  // Relative error (true - pred)/true with pred >= 0 cannot exceed 1.
+  BacktestConfig config;
+  config.train_days = 40;
+  config.make_forecaster = [] { return std::make_unique<Ewma>(0.3); };
+  const BacktestResult result = backtest(make_trace(), config);
+  for (const auto& errors : result.bucket_errors) {
+    for (double e : errors) EXPECT_LE(e, 1.0 + 1e-12);
+  }
+}
+
+TEST(BacktestTest, HigherVariabilityHasLargerErrorsWithArima) {
+  // The paper's Figure 4 shape. Uses the default (auto_arima) forecaster on
+  // a larger trace so the top bucket is populated.
+  BacktestConfig config;
+  config.train_days = 55;
+  config.horizon = 7;
+  const BacktestResult result = backtest(make_trace(1500), config);
+  const auto spread = [](const BucketErrorSummary& s) { return s.p99 - s.p1; };
+  ASSERT_GT(result.summary[0].files, 0u);
+  // Compare the stationary bucket against the most volatile populated one.
+  for (std::size_t b = result.summary.size(); b-- > 2;) {
+    if (result.summary[b].files < 3) continue;
+    EXPECT_GT(spread(result.summary[b]), spread(result.summary[0]));
+    break;
+  }
+}
+
+TEST(BacktestTest, RejectsBadWindows) {
+  BacktestConfig config;
+  config.train_days = 60;
+  config.horizon = 7;  // 60 + 7 > 62
+  EXPECT_THROW(backtest(make_trace(), config), std::invalid_argument);
+
+  config.train_days = 4;  // too short to fit
+  config.horizon = 7;
+  EXPECT_THROW(backtest(make_trace(), config), std::invalid_argument);
+}
+
+TEST(BacktestTest, ClampDisabledAllowsNegativeForecasts) {
+  BacktestConfig config;
+  config.train_days = 40;
+  config.clamp_nonnegative = false;
+  config.make_forecaster = [] { return std::make_unique<Ewma>(0.3); };
+  EXPECT_NO_THROW(backtest(make_trace(), config));
+}
+
+}  // namespace
+}  // namespace minicost::forecast

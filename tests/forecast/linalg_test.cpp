@@ -1,0 +1,118 @@
+#include "forecast/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace minicost::forecast {
+namespace {
+
+TEST(MatrixTest, StoresRowMajor) {
+  Matrix m(2, 3, 0.0);
+  m.at(0, 0) = 1.0;
+  m.at(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1.0);
+  EXPECT_DOUBLE_EQ(m.data()[5], 5.0);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a.at(0, 0) = 4.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 3.0;
+  const std::vector<double> b{10.0, 9.0};
+  const auto x = cholesky_solve(a, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, IdentityReturnsRhs) {
+  Matrix eye(3, 3);
+  for (int i = 0; i < 3; ++i) eye.at(i, i) = 1.0;
+  const std::vector<double> b{1.0, -2.0, 3.0};
+  const auto x = cholesky_solve(eye, b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], b[i], 1e-14);
+}
+
+TEST(CholeskySolveTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(CholeskySolveTest, RejectsIndefiniteMatrix) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky_solve(a, std::vector<double>{1.0, 1.0}),
+               std::runtime_error);
+}
+
+TEST(OlsTest, RecoversExactLinearModel) {
+  // y = 2 + 3*x, noise-free.
+  const int n = 50;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double xi = 0.1 * i;
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = xi;
+    y[i] = 2.0 + 3.0 * xi;
+  }
+  const auto beta = ols(x, y);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_NEAR(beta[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta[1], 3.0, 1e-6);
+}
+
+TEST(OlsTest, RecoversNoisyModelApproximately) {
+  util::Rng rng(11);
+  const int n = 2000;
+  Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    x.at(i, 0) = 1.0;
+    x.at(i, 1) = a;
+    x.at(i, 2) = b;
+    y[i] = 1.0 - 2.0 * a + 0.5 * b + rng.normal(0.0, 0.1);
+  }
+  const auto beta = ols(x, y);
+  EXPECT_NEAR(beta[0], 1.0, 0.02);
+  EXPECT_NEAR(beta[1], -2.0, 0.02);
+  EXPECT_NEAR(beta[2], 0.5, 0.02);
+}
+
+TEST(OlsTest, RejectsUnderdeterminedSystem) {
+  Matrix x(2, 3);
+  EXPECT_THROW(ols(x, std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(OlsTest, RejectsLengthMismatch) {
+  Matrix x(3, 1);
+  EXPECT_THROW(ols(x, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(OlsTest, RidgeStabilizesCollinearDesign) {
+  // Two identical columns: singular without ridge.
+  const int n = 10;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    x.at(i, 0) = i;
+    x.at(i, 1) = i;
+    y[i] = 2.0 * i;
+  }
+  const auto beta = ols(x, y, 1e-6);
+  EXPECT_NEAR(beta[0] + beta[1], 2.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace minicost::forecast

@@ -1,0 +1,88 @@
+// Determinism: identical seeds produce identical traces, plans, and bills —
+// the property every reproducible figure rests on.
+#include <gtest/gtest.h>
+
+#include "core/greedy.hpp"
+#include "core/optimal.hpp"
+#include "core/planner.hpp"
+#include "rl/a3c.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost {
+namespace {
+
+trace::SyntheticConfig trace_config() {
+  trace::SyntheticConfig config;
+  config.file_count = 120;
+  config.days = 40;
+  config.seed = 61;
+  return config;
+}
+
+TEST(DeterminismTest, SameSeedSameBill) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  double totals[2];
+  for (int run = 0; run < 2; ++run) {
+    const trace::RequestTrace tr = trace::generate_synthetic(trace_config());
+    core::GreedyPolicy greedy;
+    core::PlanOptions options;
+    options.start_day = 14;
+    options.initial_tiers = core::static_initial_tiers(tr, azure, 14);
+    totals[run] =
+        core::run_policy(tr, azure, greedy, options).report.grand_total().total();
+  }
+  EXPECT_DOUBLE_EQ(totals[0], totals[1]);
+}
+
+TEST(DeterminismTest, OptimalPlanIsIdenticalAcrossRuns) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  sim::HorizonPlan plans[2];
+  for (int run = 0; run < 2; ++run) {
+    const trace::RequestTrace tr = trace::generate_synthetic(trace_config());
+    core::OptimalPolicy optimal;
+    core::PlanOptions options;
+    options.start_day = 14;
+    options.initial_tiers = core::static_initial_tiers(tr, azure, 14);
+    plans[run] = core::run_policy(tr, azure, optimal, options).plan;
+  }
+  EXPECT_EQ(plans[0], plans[1]);
+}
+
+TEST(DeterminismTest, SingleWorkerTrainingIsReproducible) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const trace::RequestTrace tr = trace::generate_synthetic(trace_config());
+  std::vector<double> probs[2];
+  for (int run = 0; run < 2; ++run) {
+    rl::A3CConfig config;
+    config.filters = 8;
+    config.hidden = 8;
+    config.workers = 1;
+    rl::A3CAgent agent(config, 77);
+    rl::TrainOptions options;
+    options.episodes = 200;
+    options.report_every = 200;
+    agent.train(tr, azure, options);
+    probs[run] = agent.policy_probabilities(
+        agent.featurizer().encode(tr.file(0), 20, pricing::StorageTier::kHot));
+  }
+  EXPECT_EQ(probs[0], probs[1]);
+}
+
+TEST(DeterminismTest, DifferentSeedsProduceDifferentAgents) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const trace::RequestTrace tr = trace::generate_synthetic(trace_config());
+  std::vector<double> probs[2];
+  for (int run = 0; run < 2; ++run) {
+    rl::A3CConfig config;
+    config.filters = 8;
+    config.hidden = 8;
+    config.workers = 1;
+    rl::A3CAgent agent(config, 1000 + run);
+    probs[run] = agent.policy_probabilities(
+        agent.featurizer().encode(tr.file(0), 20, pricing::StorageTier::kHot));
+  }
+  EXPECT_NE(probs[0], probs[1]);
+}
+
+}  // namespace
+}  // namespace minicost

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/dense.hpp"
+
+namespace minicost::nn {
+namespace {
+
+TEST(DenseTest, ForwardComputesAffineMap) {
+  util::Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite params: W = [[1,2],[3,4]], b = [10, 20].
+  auto params = layer.parameters();
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0, 10.0, 20.0};
+  for (std::size_t i = 0; i < w.size(); ++i) params[i] = w[i];
+  std::vector<double> out(2);
+  layer.forward(std::vector<double>{1.0, 1.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 13.0);
+  EXPECT_DOUBLE_EQ(out[1], 27.0);
+}
+
+TEST(DenseTest, BackwardComputesInputAndParamGrads) {
+  util::Rng rng(1);
+  Dense layer(2, 1, rng);
+  auto params = layer.parameters();
+  params[0] = 2.0;  // w00
+  params[1] = -1.0; // w01
+  params[2] = 0.0;  // b
+  std::vector<double> out(1);
+  layer.forward(std::vector<double>{3.0, 4.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+
+  std::vector<double> grad_in(2);
+  layer.backward(std::vector<double>{1.0}, grad_in);
+  EXPECT_DOUBLE_EQ(grad_in[0], 2.0);   // dL/dx0 = w00
+  EXPECT_DOUBLE_EQ(grad_in[1], -1.0);  // dL/dx1 = w01
+  auto grads = layer.gradients();
+  EXPECT_DOUBLE_EQ(grads[0], 3.0);  // dL/dw00 = x0
+  EXPECT_DOUBLE_EQ(grads[1], 4.0);  // dL/dw01 = x1
+  EXPECT_DOUBLE_EQ(grads[2], 1.0);  // dL/db
+}
+
+TEST(DenseTest, BackwardAccumulatesAcrossCalls) {
+  util::Rng rng(2);
+  Dense layer(1, 1, rng);
+  std::vector<double> out(1), grad_in(1);
+  layer.forward(std::vector<double>{2.0}, out);
+  layer.backward(std::vector<double>{1.0}, grad_in);
+  layer.forward(std::vector<double>{2.0}, out);
+  layer.backward(std::vector<double>{1.0}, grad_in);
+  EXPECT_DOUBLE_EQ(layer.gradients()[0], 4.0);  // 2 + 2
+}
+
+TEST(DenseTest, CloneCopiesParameters) {
+  util::Rng rng(3);
+  Dense layer(4, 3, rng);
+  auto copy = layer.clone();
+  const auto a = layer.parameters();
+  const auto b = copy->parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(DenseTest, SpecDescribesShape) {
+  util::Rng rng(4);
+  EXPECT_EQ(Dense(5, 7, rng).spec(), "dense 5 7");
+}
+
+TEST(ReluTest, ForwardZeroesNegatives) {
+  Relu layer(3);
+  std::vector<double> out(3);
+  layer.forward(std::vector<double>{-1.0, 0.0, 2.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+  EXPECT_DOUBLE_EQ(out[2], 2.0);
+}
+
+TEST(ReluTest, BackwardGatesGradient) {
+  Relu layer(3);
+  std::vector<double> out(3), grad_in(3);
+  layer.forward(std::vector<double>{-1.0, 0.5, 2.0}, out);
+  layer.backward(std::vector<double>{10.0, 10.0, 10.0}, grad_in);
+  EXPECT_DOUBLE_EQ(grad_in[0], 0.0);
+  EXPECT_DOUBLE_EQ(grad_in[1], 10.0);
+  EXPECT_DOUBLE_EQ(grad_in[2], 10.0);
+}
+
+TEST(TanhTest, ForwardAndBackward) {
+  Tanh layer(1);
+  std::vector<double> out(1), grad_in(1);
+  layer.forward(std::vector<double>{0.5}, out);
+  EXPECT_NEAR(out[0], std::tanh(0.5), 1e-15);
+  layer.backward(std::vector<double>{1.0}, grad_in);
+  EXPECT_NEAR(grad_in[0], 1.0 - std::tanh(0.5) * std::tanh(0.5), 1e-15);
+}
+
+TEST(ActivationTest, NoParameters) {
+  Relu relu(4);
+  Tanh tanh_layer(4);
+  EXPECT_TRUE(relu.parameters().empty());
+  EXPECT_TRUE(tanh_layer.parameters().empty());
+}
+
+TEST(Conv1DTest, ForwardConvolvesPrefixPassesAux) {
+  util::Rng rng(5);
+  // input = [h0 h1 h2 h3 | a0], 1 filter of kernel 2 => 3 positions + 1 aux.
+  Conv1DOverPrefix layer(5, 4, 1, 2, rng);
+  auto params = layer.parameters();
+  params[0] = 1.0;  // w0
+  params[1] = 2.0;  // w1
+  params[2] = 0.5;  // bias
+  std::vector<double> out(layer.output_size());
+  ASSERT_EQ(out.size(), 4u);
+  layer.forward(std::vector<double>{1.0, 2.0, 3.0, 4.0, 9.0}, out);
+  EXPECT_DOUBLE_EQ(out[0], 1.0 + 4.0 + 0.5);   // 1*1+2*2+b
+  EXPECT_DOUBLE_EQ(out[1], 2.0 + 6.0 + 0.5);
+  EXPECT_DOUBLE_EQ(out[2], 3.0 + 8.0 + 0.5);
+  EXPECT_DOUBLE_EQ(out[3], 9.0);  // aux passthrough
+}
+
+TEST(Conv1DTest, OutputSizeMatchesPaperArchitecture) {
+  util::Rng rng(6);
+  // The paper: 128 filters of size 4, stride 1 over the history.
+  Conv1DOverPrefix layer(14 + 12, 14, 128, 4, rng);
+  EXPECT_EQ(layer.positions(), 11u);
+  EXPECT_EQ(layer.output_size(), 128u * 11u + 12u);
+}
+
+TEST(Conv1DTest, BackwardRoutesAuxGradient) {
+  util::Rng rng(7);
+  Conv1DOverPrefix layer(5, 4, 1, 2, rng);
+  std::vector<double> out(layer.output_size()), grad_in(5);
+  layer.forward(std::vector<double>{0.0, 0.0, 0.0, 0.0, 1.0}, out);
+  std::vector<double> grad_out(layer.output_size(), 0.0);
+  grad_out.back() = 7.0;  // only the aux output carries gradient
+  layer.backward(grad_out, grad_in);
+  EXPECT_DOUBLE_EQ(grad_in[4], 7.0);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(grad_in[i], 0.0);
+}
+
+TEST(Conv1DTest, RejectsBadGeometry) {
+  util::Rng rng(8);
+  EXPECT_THROW(Conv1DOverPrefix(10, 4, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(Conv1DOverPrefix(10, 4, 1, 0, rng), std::invalid_argument);
+  EXPECT_THROW(Conv1DOverPrefix(10, 4, 1, 5, rng), std::invalid_argument);
+  EXPECT_THROW(Conv1DOverPrefix(4, 5, 1, 2, rng), std::invalid_argument);
+}
+
+TEST(Conv1DTest, SpecDescribesGeometry) {
+  util::Rng rng(9);
+  EXPECT_EQ(Conv1DOverPrefix(26, 14, 32, 4, rng).spec(), "conv1d 26 14 32 4");
+}
+
+}  // namespace
+}  // namespace minicost::nn

@@ -1,0 +1,132 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+
+namespace minicost::nn {
+namespace {
+
+Network tiny_net(util::Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Dense>(3, 4, rng));
+  net.add(std::make_unique<Relu>(4));
+  net.add(std::make_unique<Dense>(4, 2, rng));
+  return net;
+}
+
+TEST(NetworkTest, ShapesAndParameterCount) {
+  util::Rng rng(1);
+  Network net = tiny_net(rng);
+  EXPECT_EQ(net.input_size(), 3u);
+  EXPECT_EQ(net.output_size(), 2u);
+  EXPECT_EQ(net.layer_count(), 3u);
+  EXPECT_EQ(net.parameter_count(), (3u * 4 + 4) + (4u * 2 + 2));
+}
+
+TEST(NetworkTest, AddRejectsShapeMismatch) {
+  util::Rng rng(2);
+  Network net;
+  net.add(std::make_unique<Dense>(3, 4, rng));
+  EXPECT_THROW(net.add(std::make_unique<Dense>(5, 2, rng)),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, ForwardValidatesInputSize) {
+  util::Rng rng(3);
+  Network net = tiny_net(rng);
+  EXPECT_THROW(net.forward(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(NetworkTest, SnapshotLoadRoundTrip) {
+  util::Rng rng(4);
+  Network net = tiny_net(rng);
+  const std::vector<double> input{0.5, -0.2, 1.0};
+  const auto before = net.forward(input);
+  const auto params = net.snapshot_parameters();
+
+  Network other = tiny_net(rng);  // different random weights
+  other.load_parameters(params);
+  const auto after = other.forward(input);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+}
+
+TEST(NetworkTest, LoadRejectsWrongSize) {
+  util::Rng rng(5);
+  Network net = tiny_net(rng);
+  EXPECT_THROW(net.load_parameters(std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(NetworkTest, CopyIsDeep) {
+  util::Rng rng(6);
+  Network net = tiny_net(rng);
+  Network copy = net;
+  auto params = copy.snapshot_parameters();
+  params[0] += 100.0;
+  copy.load_parameters(params);
+  EXPECT_NE(net.snapshot_parameters()[0], copy.snapshot_parameters()[0]);
+}
+
+TEST(NetworkTest, CollectGradientsZeroAfterFlagWorks) {
+  util::Rng rng(7);
+  Network net = tiny_net(rng);
+  net.forward(std::vector<double>{1.0, 1.0, 1.0});
+  net.backward(std::vector<double>{1.0, 1.0});
+  const auto grads = net.collect_gradients(/*zero_after=*/true);
+  EXPECT_EQ(grads.size(), net.parameter_count());
+  double nonzero = 0.0;
+  for (double g : grads) nonzero += std::abs(g);
+  EXPECT_GT(nonzero, 0.0);
+  const auto after = net.collect_gradients(false);
+  for (double g : after) EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(NetworkTest, ApplyDeltaShiftsParameters) {
+  util::Rng rng(8);
+  Network net = tiny_net(rng);
+  const auto before = net.snapshot_parameters();
+  std::vector<double> delta(before.size(), 1.0);
+  net.apply_delta(delta, 0.5);
+  const auto after = net.snapshot_parameters();
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_NEAR(after[i], before[i] + 0.5, 1e-15);
+}
+
+TEST(NetworkTest, BackwardReturnsInputGradient) {
+  util::Rng rng(9);
+  Network net = tiny_net(rng);
+  net.forward(std::vector<double>{0.1, 0.2, 0.3});
+  const auto grad_in = net.backward(std::vector<double>{1.0, 0.0});
+  EXPECT_EQ(grad_in.size(), 3u);
+}
+
+TEST(BuildTrunkTest, MatchesPaperArchitectureShapes) {
+  util::Rng rng(10);
+  // 14-day history + 12 aux, 128 filters of 4, 128 hidden (paper Sec. 6.1),
+  // 3 outputs (tier logits).
+  Network net = build_trunk(14, 12, 128, 4, 128, 3, rng);
+  EXPECT_EQ(net.input_size(), 26u);
+  EXPECT_EQ(net.output_size(), 3u);
+  const auto out = net.forward(std::vector<double>(26, 0.1));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(BuildMlpTest, BuildsRequestedShape) {
+  util::Rng rng(11);
+  Network net = build_mlp({4, 8, 2}, rng);
+  EXPECT_EQ(net.input_size(), 4u);
+  EXPECT_EQ(net.output_size(), 2u);
+  EXPECT_EQ(net.layer_count(), 3u);  // dense, relu, dense
+}
+
+TEST(BuildMlpTest, RejectsDegenerateSpec) {
+  util::Rng rng(12);
+  EXPECT_THROW(build_mlp({4}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::nn

@@ -1,0 +1,99 @@
+#include "nn/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace minicost::nn {
+namespace {
+
+TEST(SoftmaxTest, SumsToOneAndOrdersCorrectly) {
+  const std::vector<double> logits{1.0, 2.0, 3.0};
+  const auto pi = softmax(logits);
+  double total = 0.0;
+  for (double p : pi) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_LT(pi[0], pi[1]);
+  EXPECT_LT(pi[1], pi[2]);
+}
+
+TEST(SoftmaxTest, StableUnderLargeLogits) {
+  const std::vector<double> logits{1000.0, 1001.0, 999.0};
+  const auto pi = softmax(logits);
+  for (double p : pi) {
+    EXPECT_TRUE(std::isfinite(p));
+    EXPECT_GE(p, 0.0);
+  }
+  EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformDistribution) {
+  const auto pi = softmax(std::vector<double>{5.0, 5.0, 5.0, 5.0});
+  for (double p : pi) EXPECT_NEAR(p, 0.25, 1e-12);
+}
+
+TEST(SoftmaxTest, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(softmax(std::vector<double>{}).empty());
+}
+
+TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
+  const std::vector<double> logits{0.5, -1.0, 2.0};
+  const auto pi = softmax(logits);
+  const auto log_pi = log_softmax(logits);
+  for (std::size_t i = 0; i < pi.size(); ++i)
+    EXPECT_NEAR(log_pi[i], std::log(pi[i]), 1e-12);
+}
+
+TEST(EntropyTest, UniformIsMaximal) {
+  const std::vector<double> uniform{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  EXPECT_NEAR(entropy(uniform), std::log(3.0), 1e-12);
+  const std::vector<double> peaked{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(entropy(peaked), 0.0);
+  EXPECT_GT(entropy(uniform), entropy(std::vector<double>{0.8, 0.1, 0.1}));
+}
+
+TEST(ArgmaxTest, FindsLargest) {
+  EXPECT_EQ(argmax(std::vector<double>{0.1, 0.7, 0.2}), 1u);
+  EXPECT_EQ(argmax(std::vector<double>{3.0}), 0u);
+  EXPECT_EQ(argmax(std::vector<double>{}), 0u);
+}
+
+TEST(ArgmaxTest, FirstWinnerOnTies) {
+  EXPECT_EQ(argmax(std::vector<double>{0.5, 0.5}), 0u);
+}
+
+TEST(ClipTest, ClipInplaceBounds) {
+  std::vector<double> xs{-10.0, 0.5, 10.0};
+  clip_inplace(xs, 1.0);
+  EXPECT_DOUBLE_EQ(xs[0], -1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.5);
+  EXPECT_DOUBLE_EQ(xs[2], 1.0);
+}
+
+TEST(NormTest, L2NormOfPythagoreanTriple) {
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(l2_norm(std::vector<double>{}), 0.0);
+}
+
+TEST(ClipByGlobalNormTest, RescalesWhenAboveLimit) {
+  std::vector<double> xs{3.0, 4.0};  // norm 5
+  clip_by_global_norm(xs, 1.0);
+  EXPECT_NEAR(l2_norm(xs), 1.0, 1e-12);
+  EXPECT_NEAR(xs[0] / xs[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(ClipByGlobalNormTest, NoopWhenWithinLimit) {
+  std::vector<double> xs{0.3, 0.4};
+  clip_by_global_norm(xs, 1.0);
+  EXPECT_DOUBLE_EQ(xs[0], 0.3);
+  EXPECT_DOUBLE_EQ(xs[1], 0.4);
+}
+
+TEST(ClipByGlobalNormTest, NonPositiveLimitIsNoop) {
+  std::vector<double> xs{30.0, 40.0};
+  clip_by_global_norm(xs, 0.0);
+  EXPECT_DOUBLE_EQ(xs[0], 30.0);
+}
+
+}  // namespace
+}  // namespace minicost::nn

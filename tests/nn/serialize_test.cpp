@@ -1,0 +1,74 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace minicost::nn {
+namespace {
+
+TEST(SerializeTest, RoundTripsTrunkNetwork) {
+  util::Rng rng(1);
+  Network net = build_trunk(14, 12, 8, 4, 16, 3, rng);
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network loaded = load_network(buffer);
+
+  EXPECT_EQ(loaded.parameter_count(), net.parameter_count());
+  const std::vector<double> input(26, 0.3);
+  const auto a = net.forward(input);
+  const auto b = loaded.forward(input);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(SerializeTest, RoundTripsMlpWithTanh) {
+  util::Rng rng(2);
+  Network net = build_mlp({5, 8, 2}, rng);
+  std::stringstream buffer;
+  save_network(net, buffer);
+  Network loaded = load_network(buffer);
+  const std::vector<double> input{0.1, -0.5, 0.3, 0.9, -0.2};
+  EXPECT_EQ(net.forward(input), loaded.forward(input));
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  util::Rng rng(3);
+  Network net = build_mlp({3, 4, 1}, rng);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("minicost_net_" + std::to_string(::getpid()) + ".txt");
+  save_network(net, path);
+  Network loaded = load_network(path);
+  EXPECT_EQ(net.forward(std::vector<double>{1.0, 2.0, 3.0}),
+            loaded.forward(std::vector<double>{1.0, 2.0, 3.0}));
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-network 1\n0\n0\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsTruncatedParams) {
+  util::Rng rng(4);
+  Network net = build_mlp({2, 2}, rng);
+  std::stringstream buffer;
+  save_network(net, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_network(truncated), std::runtime_error);
+}
+
+TEST(SerializeTest, RejectsUnknownLayerKind) {
+  std::stringstream buffer("minicost-network 1\n1\nwarp 3 3\n0\n");
+  EXPECT_THROW(load_network(buffer), std::runtime_error);
+}
+
+TEST(SerializeTest, MissingFileThrows) {
+  EXPECT_THROW(load_network(std::filesystem::path("/no/such/net.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace minicost::nn

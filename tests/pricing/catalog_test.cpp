@@ -1,0 +1,92 @@
+#include "pricing/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minicost::pricing {
+namespace {
+
+TEST(PriceCatalogTest, AddAndLookup) {
+  PriceCatalog catalog;
+  EXPECT_EQ(catalog.add({"us-west", PricingPolicy::azure_2020()}), 0u);
+  EXPECT_EQ(catalog.add({"eu-west", PricingPolicy::s3_like()}), 1u);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.at(1).name, "eu-west");
+  EXPECT_EQ(catalog.by_name("us-west").policy.name(), "azure-2020");
+}
+
+TEST(PriceCatalogTest, RejectsDuplicateNames) {
+  PriceCatalog catalog;
+  catalog.add({"us-west", PricingPolicy::azure_2020()});
+  EXPECT_THROW(catalog.add({"us-west", PricingPolicy::s3_like()}),
+               std::invalid_argument);
+}
+
+TEST(PriceCatalogTest, ByNameThrowsWhenAbsent) {
+  PriceCatalog catalog;
+  EXPECT_THROW(catalog.by_name("nowhere"), std::out_of_range);
+}
+
+TEST(PriceCatalogTest, CheapestForPrefersDiscountedRegion) {
+  PriceCatalog catalog;
+  const PricingPolicy base = PricingPolicy::azure_2020();
+  catalog.add({"expensive", PriceCatalog::scaled(base, 1.5, "x1.5")});
+  catalog.add({"cheap", PriceCatalog::scaled(base, 0.5, "x0.5")});
+  EXPECT_EQ(catalog.cheapest_for(0.1, 10.0, 0.1), 1u);
+}
+
+TEST(PriceCatalogTest, CheapestForEmptyCatalogThrows) {
+  PriceCatalog catalog;
+  EXPECT_THROW(catalog.cheapest_for(0.1, 1.0, 0.0), std::out_of_range);
+}
+
+TEST(PriceCatalogTest, ScaledMultipliesAllPrices) {
+  const PricingPolicy base = PricingPolicy::azure_2020();
+  const PricingPolicy scaled = PriceCatalog::scaled(base, 2.0, "double");
+  for (StorageTier t : all_tiers()) {
+    EXPECT_NEAR(scaled.tier(t).storage_gb_month,
+                2.0 * base.tier(t).storage_gb_month, 1e-12);
+    EXPECT_NEAR(scaled.tier(t).read_per_10k_ops,
+                2.0 * base.tier(t).read_per_10k_ops, 1e-12);
+  }
+  EXPECT_NEAR(scaled.tier_change_per_gb(), 2.0 * base.tier_change_per_gb(),
+              1e-12);
+  EXPECT_EQ(scaled.name(), "double");
+}
+
+TEST(PriceCatalogTest, ScaledRejectsNonPositiveFactor) {
+  EXPECT_THROW(
+      PriceCatalog::scaled(PricingPolicy::azure_2020(), 0.0, "zero"),
+      std::invalid_argument);
+}
+
+TEST(PriceCatalogTest, DefaultCatalogHasThreeRegions) {
+  const PriceCatalog catalog = PriceCatalog::default_catalog();
+  EXPECT_EQ(catalog.size(), 3u);
+  EXPECT_NO_THROW(catalog.by_name("us-west"));
+  EXPECT_NO_THROW(catalog.by_name("cold-vault"));
+  EXPECT_NO_THROW(catalog.by_name("edge-serve"));
+  // Structural heterogeneity: dead files belong in the storage-cheap
+  // region, popular files in the access-cheap one.
+  EXPECT_EQ(catalog.cheapest_for(0.1, 0.001, 0.0), 1u);   // cold-vault
+  EXPECT_EQ(catalog.cheapest_for(0.1, 500.0, 10.0), 2u);  // edge-serve
+}
+
+TEST(PriceCatalogTest, SkewedScalesComponentsIndependently) {
+  const PricingPolicy base = PricingPolicy::azure_2020();
+  const PricingPolicy skewed = PriceCatalog::skewed(base, 0.5, 2.0, "skew");
+  for (StorageTier t : all_tiers()) {
+    EXPECT_NEAR(skewed.tier(t).storage_gb_month,
+                0.5 * base.tier(t).storage_gb_month, 1e-12);
+    EXPECT_NEAR(skewed.tier(t).read_per_10k_ops,
+                2.0 * base.tier(t).read_per_10k_ops, 1e-12);
+    EXPECT_NEAR(skewed.tier(t).read_per_gb, 2.0 * base.tier(t).read_per_gb,
+                1e-12);
+  }
+  EXPECT_NEAR(skewed.tier_change_per_gb(), 2.0 * base.tier_change_per_gb(),
+              1e-12);
+  EXPECT_THROW(PriceCatalog::skewed(base, 0.0, 1.0, "bad"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::pricing

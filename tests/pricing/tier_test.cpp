@@ -1,0 +1,53 @@
+#include "pricing/tier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minicost::pricing {
+namespace {
+
+TEST(TierTest, AllTiersEnumeratesThree) {
+  const auto tiers = all_tiers();
+  EXPECT_EQ(tiers.size(), kTierCount);
+  EXPECT_EQ(tiers[0], StorageTier::kHot);
+  EXPECT_EQ(tiers[1], StorageTier::kCool);
+  EXPECT_EQ(tiers[2], StorageTier::kArchive);
+}
+
+TEST(TierTest, IndexRoundTrip) {
+  for (StorageTier t : all_tiers()) {
+    EXPECT_EQ(tier_from_index(tier_index(t)), t);
+  }
+}
+
+TEST(TierTest, FromIndexRejectsOutOfRange) {
+  EXPECT_THROW(tier_from_index(kTierCount), std::out_of_range);
+  EXPECT_THROW(tier_from_index(99), std::out_of_range);
+}
+
+TEST(TierTest, NamesAreStable) {
+  EXPECT_EQ(tier_name(StorageTier::kHot), "hot");
+  EXPECT_EQ(tier_name(StorageTier::kCool), "cool");
+  EXPECT_EQ(tier_name(StorageTier::kArchive), "archive");
+}
+
+TEST(TierTest, ParseAcceptsPaperTerminology) {
+  EXPECT_EQ(parse_tier("hot"), StorageTier::kHot);
+  EXPECT_EQ(parse_tier("cool"), StorageTier::kCool);
+  EXPECT_EQ(parse_tier("cold"), StorageTier::kCool);  // the paper says "cold"
+  EXPECT_EQ(parse_tier("archive"), StorageTier::kArchive);
+}
+
+TEST(TierTest, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_tier("lukewarm"), std::invalid_argument);
+  EXPECT_THROW(parse_tier(""), std::invalid_argument);
+  EXPECT_THROW(parse_tier("HOT"), std::invalid_argument);
+}
+
+TEST(TierTest, ParseRoundTripsNames) {
+  for (StorageTier t : all_tiers()) {
+    EXPECT_EQ(parse_tier(tier_name(t)), t);
+  }
+}
+
+}  // namespace
+}  // namespace minicost::pricing

@@ -1,0 +1,169 @@
+#include "rl/a3c.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/synthetic.hpp"
+
+namespace minicost::rl {
+namespace {
+
+trace::RequestTrace small_trace(std::size_t files = 60) {
+  trace::SyntheticConfig config;
+  config.file_count = files;
+  config.days = 62;
+  config.seed = 12;
+  return trace::generate_synthetic(config);
+}
+
+A3CConfig tiny_config() {
+  A3CConfig config;
+  config.filters = 8;
+  config.hidden = 8;
+  config.workers = 1;
+  return config;
+}
+
+TEST(A3CAgentTest, ConstructionValidatesConfig) {
+  A3CConfig config = tiny_config();
+  config.workers = 0;
+  EXPECT_THROW(A3CAgent(config, 1), std::invalid_argument);
+  config = tiny_config();
+  config.episode_len = 0;
+  EXPECT_THROW(A3CAgent(config, 1), std::invalid_argument);
+  config = tiny_config();
+  config.gamma = 1.5;
+  EXPECT_THROW(A3CAgent(config, 1), std::invalid_argument);
+}
+
+TEST(A3CAgentTest, PolicyProbabilitiesAreDistribution) {
+  A3CAgent agent(tiny_config(), 3);
+  const trace::RequestTrace trace = small_trace();
+  const auto features =
+      agent.featurizer().encode(trace.file(0), 20, pricing::StorageTier::kHot);
+  const auto pi = agent.policy_probabilities(features);
+  ASSERT_EQ(pi.size(), kActionCount);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(A3CAgentTest, TrainingAccumulatesCounters) {
+  A3CAgent agent(tiny_config(), 5);
+  const trace::RequestTrace trace = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  TrainOptions options;
+  options.episodes = 50;
+  options.report_every = 25;
+  int callbacks = 0;
+  options.on_progress = [&](const TrainProgress& progress) {
+    ++callbacks;
+    EXPECT_GT(progress.env_steps, 0u);
+  };
+  agent.train(trace, azure, options);
+  EXPECT_EQ(agent.trained_episodes(), 50u);
+  EXPECT_GT(agent.trained_steps(), 50u);
+  EXPECT_EQ(callbacks, 2);
+}
+
+TEST(A3CAgentTest, TrainingImprovesMeanReward) {
+  // On a small trace, 3000 episodes should beat the untrained policy's
+  // average reward clearly.
+  A3CAgent agent(tiny_config(), 7);
+  const trace::RequestTrace trace = small_trace(120);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  double first_window = 0.0, last_window = 0.0;
+  TrainOptions options;
+  options.episodes = 3000;
+  options.report_every = 750;
+  int window = 0;
+  options.on_progress = [&](const TrainProgress& progress) {
+    if (window == 0) first_window = progress.mean_reward;
+    last_window = progress.mean_reward;
+    ++window;
+  };
+  agent.train(trace, azure, options);
+  EXPECT_GT(last_window, first_window);
+}
+
+TEST(A3CAgentTest, GreedyActIsDeterministic) {
+  A3CAgent agent(tiny_config(), 9);
+  const trace::RequestTrace trace = small_trace();
+  const auto features =
+      agent.featurizer().encode(trace.file(3), 20, pricing::StorageTier::kCool);
+  const Action a = agent.act(features, /*greedy=*/true);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(agent.act(features, true), a);
+  EXPECT_LT(a, kActionCount);
+}
+
+TEST(A3CAgentTest, MultiWorkerTrainingRuns) {
+  A3CConfig config = tiny_config();
+  config.workers = 3;
+  A3CAgent agent(config, 11);
+  const trace::RequestTrace trace = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  TrainOptions options;
+  options.episodes = 60;
+  options.report_every = 60;
+  EXPECT_NO_THROW(agent.train(trace, azure, options));
+  EXPECT_EQ(agent.trained_episodes(), 60u);
+}
+
+TEST(A3CAgentTest, SaveLoadRoundTripsBehaviour) {
+  A3CAgent agent(tiny_config(), 13);
+  const trace::RequestTrace trace = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  TrainOptions options;
+  options.episodes = 100;
+  options.report_every = 100;
+  agent.train(trace, azure, options);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("minicost_agent_" + std::to_string(::getpid()) + ".txt");
+  agent.save(path);
+  A3CAgent loaded(tiny_config(), 99);  // different init
+  loaded.load(path);
+  std::filesystem::remove(path);
+
+  const auto features =
+      agent.featurizer().encode(trace.file(1), 30, pricing::StorageTier::kHot);
+  EXPECT_EQ(agent.policy_probabilities(features),
+            loaded.policy_probabilities(features));
+  EXPECT_DOUBLE_EQ(agent.value(features), loaded.value(features));
+}
+
+TEST(A3CAgentTest, LoadRejectsArchitectureMismatch) {
+  A3CAgent small(tiny_config(), 1);
+  A3CConfig big_config = tiny_config();
+  big_config.hidden = 32;
+  A3CAgent big(big_config, 1);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("minicost_agent_mismatch_" + std::to_string(::getpid()) + ".txt");
+  small.save(path);
+  EXPECT_THROW(big.load(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(A3CAgentTest, ParameterCountScalesWithWidth) {
+  A3CConfig narrow = tiny_config();
+  A3CConfig wide = tiny_config();
+  wide.filters = 32;
+  wide.hidden = 32;
+  EXPECT_GT(A3CAgent(wide, 1).parameter_count(),
+            A3CAgent(narrow, 1).parameter_count());
+}
+
+TEST(A3CAgentTest, TrainValidatesTrace) {
+  A3CAgent agent(tiny_config(), 15);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  trace::RequestTrace empty;
+  EXPECT_THROW(agent.train(empty, azure, TrainOptions{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::rl

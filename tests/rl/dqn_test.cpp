@@ -1,0 +1,103 @@
+#include "rl/dqn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.hpp"
+#include "trace/synthetic.hpp"
+
+namespace minicost::rl {
+namespace {
+
+trace::RequestTrace small_trace(std::size_t files = 80) {
+  trace::SyntheticConfig config;
+  config.file_count = files;
+  config.days = 62;
+  config.seed = 81;
+  return trace::generate_synthetic(config);
+}
+
+DqnConfig tiny_config() {
+  DqnConfig config;
+  config.filters = 8;
+  config.hidden = 8;
+  config.min_replay = 64;
+  config.batch_size = 16;
+  return config;
+}
+
+TEST(DqnTest, ConstructionValidatesConfig) {
+  DqnConfig config = tiny_config();
+  config.batch_size = 0;
+  EXPECT_THROW(DqnAgent(config, 1), std::invalid_argument);
+  config = tiny_config();
+  config.replay_capacity = 4;  // < batch size
+  EXPECT_THROW(DqnAgent(config, 1), std::invalid_argument);
+  config = tiny_config();
+  config.gamma = -0.1;
+  EXPECT_THROW(DqnAgent(config, 1), std::invalid_argument);
+}
+
+TEST(DqnTest, QValuesHaveActionWidth) {
+  DqnAgent agent(tiny_config(), 3);
+  const trace::RequestTrace tr = small_trace();
+  const auto features =
+      agent.featurizer().encode(tr.file(0), 20, pricing::StorageTier::kHot);
+  EXPECT_EQ(agent.q_values(features).size(), kActionCount);
+  EXPECT_LT(agent.act(features), kActionCount);
+}
+
+TEST(DqnTest, TrainingFillsReplayAndSteps) {
+  DqnAgent agent(tiny_config(), 5);
+  const trace::RequestTrace tr = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  agent.train(tr, azure, /*episodes=*/100);
+  EXPECT_GT(agent.replay_size(), 500u);
+  EXPECT_GT(agent.gradient_steps(), 100u);
+}
+
+TEST(DqnTest, ReplayBufferIsBounded) {
+  DqnConfig config = tiny_config();
+  config.replay_capacity = 300;
+  DqnAgent agent(config, 7);
+  const trace::RequestTrace tr = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  agent.train(tr, azure, /*episodes=*/80);
+  EXPECT_LE(agent.replay_size(), 300u);
+}
+
+TEST(DqnTest, LearnsArchiveForQuietFiles) {
+  DqnAgent agent(tiny_config(), 9);
+  const trace::RequestTrace tr = small_trace(120);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  agent.train(tr, azure, /*episodes=*/1500);
+
+  trace::FileId quiet = 0;
+  double best = 1e18;
+  for (trace::FileId i = 0; i < tr.file_count(); ++i) {
+    const double mean = stats::mean(tr.file(i).reads);
+    if (mean < best) {
+      best = mean;
+      quiet = i;
+    }
+  }
+  // From archive, a near-dead file should stay in archive under the
+  // learned Q function.
+  EXPECT_EQ(agent.act(tr.file(quiet), 30, pricing::StorageTier::kArchive),
+            pricing::tier_index(pricing::StorageTier::kArchive));
+}
+
+TEST(DqnTest, DeterministicForSameSeed) {
+  const trace::RequestTrace tr = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  std::vector<double> q[2];
+  for (int run = 0; run < 2; ++run) {
+    DqnAgent agent(tiny_config(), 42);
+    agent.train(tr, azure, 60);
+    q[run] = agent.q_values(
+        agent.featurizer().encode(tr.file(0), 20, pricing::StorageTier::kHot));
+  }
+  EXPECT_EQ(q[0], q[1]);
+}
+
+}  // namespace
+}  // namespace minicost::rl

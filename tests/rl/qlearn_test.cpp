@@ -1,0 +1,86 @@
+#include "rl/qlearn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/synthetic.hpp"
+
+namespace minicost::rl {
+namespace {
+
+trace::RequestTrace small_trace() {
+  trace::SyntheticConfig config;
+  config.file_count = 80;
+  config.days = 62;
+  config.seed = 31;
+  return trace::generate_synthetic(config);
+}
+
+TEST(QLearningTest, StateIndexInRange) {
+  QLearningAgent agent(QLearnConfig{}, 1);
+  const trace::RequestTrace trace = small_trace();
+  for (trace::FileId f = 0; f < 20; ++f) {
+    for (std::size_t day = 10; day < 30; ++day) {
+      for (pricing::StorageTier t : pricing::all_tiers()) {
+        EXPECT_LT(agent.state_index(trace.file(f), day, t),
+                  agent.state_count());
+      }
+    }
+  }
+}
+
+TEST(QLearningTest, StateDependsOnTier) {
+  QLearningAgent agent(QLearnConfig{}, 1);
+  const trace::RequestTrace trace = small_trace();
+  const auto& f = trace.file(0);
+  EXPECT_NE(agent.state_index(f, 20, pricing::StorageTier::kHot),
+            agent.state_index(f, 20, pricing::StorageTier::kArchive));
+}
+
+TEST(QLearningTest, TrainingMovesQValues) {
+  QLearningAgent agent(QLearnConfig{}, 3);
+  const trace::RequestTrace trace = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  agent.train(trace, azure, /*episodes=*/400);
+  double total_q = 0.0;
+  for (std::size_t s = 0; s < agent.state_count(); ++s) {
+    for (Action a = 0; a < kActionCount; ++a)
+      total_q += std::abs(agent.q_value(s, a));
+  }
+  EXPECT_GT(total_q, 0.0);
+}
+
+TEST(QLearningTest, LearnsArchiveForQuietFiles) {
+  QLearnConfig config;
+  config.epsilon = 0.3;
+  QLearningAgent agent(config, 5);
+  const trace::RequestTrace trace = small_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  agent.train(trace, azure, /*episodes=*/6000);
+
+  // Find the quietest file; the greedy action from archive should be to
+  // stay in archive (cheapest for a near-dead file).
+  trace::FileId quiet = 0;
+  double best = 1e18;
+  for (trace::FileId i = 0; i < trace.file_count(); ++i) {
+    double mean = 0.0;
+    for (double r : trace.file(i).reads) mean += r;
+    if (mean < best) {
+      best = mean;
+      quiet = i;
+    }
+  }
+  EXPECT_EQ(agent.act(trace.file(quiet), 30, pricing::StorageTier::kArchive),
+            pricing::tier_index(pricing::StorageTier::kArchive));
+}
+
+TEST(QLearningTest, ActReturnsValidAction) {
+  QLearningAgent agent(QLearnConfig{}, 7);
+  const trace::RequestTrace trace = small_trace();
+  EXPECT_LT(agent.act(trace.file(0), 15, pricing::StorageTier::kHot),
+            kActionCount);
+}
+
+}  // namespace
+}  // namespace minicost::rl

@@ -1,0 +1,67 @@
+#include "sim/billing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minicost::sim {
+namespace {
+
+TEST(BillingReportTest, ChargesAccumulateEverywhere) {
+  BillingReport report(2, 3);
+  report.charge(0, 0, CostBreakdown{1.0, 0.0, 0.0, 0.0});
+  report.charge(1, 0, CostBreakdown{0.0, 2.0, 0.0, 0.0});
+  report.charge(0, 2, CostBreakdown{0.0, 0.0, 3.0, 0.5});
+
+  EXPECT_DOUBLE_EQ(report.grand_total().total(), 6.5);
+  EXPECT_DOUBLE_EQ(report.day(0).total(), 3.0);
+  EXPECT_DOUBLE_EQ(report.day(1).total(), 0.0);
+  EXPECT_DOUBLE_EQ(report.day(2).total(), 3.5);
+  EXPECT_DOUBLE_EQ(report.file_total(0), 4.5);
+  EXPECT_DOUBLE_EQ(report.file_total(1), 2.0);
+}
+
+TEST(BillingReportTest, CumulativeThroughSumsPrefix) {
+  BillingReport report(1, 3);
+  report.charge(0, 0, CostBreakdown{1.0, 0.0, 0.0, 0.0});
+  report.charge(0, 1, CostBreakdown{2.0, 0.0, 0.0, 0.0});
+  report.charge(0, 2, CostBreakdown{4.0, 0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(report.cumulative_through(0), 1.0);
+  EXPECT_DOUBLE_EQ(report.cumulative_through(1), 3.0);
+  EXPECT_DOUBLE_EQ(report.cumulative_through(2), 7.0);
+  EXPECT_THROW(report.cumulative_through(3), std::out_of_range);
+}
+
+TEST(BillingReportTest, TierChangeCounting) {
+  BillingReport report(1, 2);
+  report.count_change(0);
+  report.count_change(1);
+  report.count_change(1);
+  EXPECT_EQ(report.tier_changes(), 3u);
+  EXPECT_EQ(report.tier_changes_on(0), 1u);
+  EXPECT_EQ(report.tier_changes_on(1), 2u);
+}
+
+TEST(BillingReportTest, OutOfRangeChargesThrow) {
+  BillingReport report(1, 1);
+  EXPECT_THROW(report.charge(5, 0, CostBreakdown{}), std::out_of_range);
+  EXPECT_THROW(report.charge(0, 5, CostBreakdown{}), std::out_of_range);
+}
+
+TEST(BillingReportTest, MergeCombinesReports) {
+  BillingReport a(2, 2), b(2, 2);
+  a.charge(0, 0, CostBreakdown{1.0, 0.0, 0.0, 0.0});
+  b.charge(1, 1, CostBreakdown{0.0, 2.0, 0.0, 0.0});
+  b.count_change(1);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.grand_total().total(), 3.0);
+  EXPECT_DOUBLE_EQ(a.file_total(1), 2.0);
+  EXPECT_EQ(a.tier_changes(), 1u);
+}
+
+TEST(BillingReportTest, MergeRejectsShapeMismatch) {
+  BillingReport a(2, 2), b(1, 2), c(2, 3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::sim

@@ -1,0 +1,130 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace minicost::sim {
+namespace {
+
+using pricing::PricingPolicy;
+using pricing::StorageTier;
+
+TEST(CostBreakdownTest, TotalSumsComponents) {
+  CostBreakdown cost{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(cost.total(), 10.0);
+}
+
+TEST(CostBreakdownTest, AccumulationOperators) {
+  CostBreakdown a{1.0, 1.0, 1.0, 1.0};
+  const CostBreakdown b{2.0, 0.0, 0.5, 0.0};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.storage, 3.0);
+  EXPECT_DOUBLE_EQ(a.read, 1.0);
+  EXPECT_DOUBLE_EQ(a.write, 1.5);
+  const CostBreakdown c = a + b;
+  EXPECT_DOUBLE_EQ(c.storage, 5.0);
+}
+
+TEST(FileDayCostTest, DecomposesPerEquation5) {
+  // C = Cs + Cc + Cr + Cw with each component matching the policy's math.
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const double gb = 0.1, reads = 20.0, writes = 0.5;
+  const CostBreakdown cost = file_day_cost(
+      azure, StorageTier::kCool, StorageTier::kHot, reads, writes, gb);
+  EXPECT_DOUBLE_EQ(cost.storage,
+                   azure.storage_cost_per_day(StorageTier::kCool, gb));
+  EXPECT_DOUBLE_EQ(cost.read, azure.read_cost(StorageTier::kCool, reads, gb));
+  EXPECT_DOUBLE_EQ(cost.write, azure.write_cost(StorageTier::kCool, writes, gb));
+  EXPECT_DOUBLE_EQ(cost.change,
+                   azure.change_cost(StorageTier::kHot, StorageTier::kCool, gb));
+}
+
+TEST(FileDayCostTest, NoChangeChargeWhenTierUnchanged) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const CostBreakdown cost = file_day_cost(
+      azure, StorageTier::kHot, StorageTier::kHot, 1.0, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(cost.change, 0.0);
+}
+
+TEST(FileDayCostTest, NoChangeVariantOmitsChangeEntirely) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const CostBreakdown cost =
+      file_day_cost_no_change(azure, StorageTier::kArchive, 1.0, 0.0, 0.1);
+  EXPECT_DOUBLE_EQ(cost.change, 0.0);
+  EXPECT_GT(cost.total(), 0.0);
+}
+
+TEST(FileDayCostTest, CostIsNonNegativeForAllTiers) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  for (StorageTier t : pricing::all_tiers()) {
+    for (StorageTier prev : pricing::all_tiers()) {
+      const CostBreakdown cost = file_day_cost(azure, t, prev, 0.0, 0.0, 0.0);
+      EXPECT_GE(cost.total(), 0.0);
+    }
+  }
+}
+
+TEST(FileDayCostTest, LinearInFrequencies) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const auto at = [&](double r, double w) {
+    const CostBreakdown c =
+        file_day_cost_no_change(azure, StorageTier::kHot, r, w, 0.1);
+    return c.read + c.write;
+  };
+  EXPECT_NEAR(at(10.0, 4.0), 2.0 * at(5.0, 2.0), 1e-15);
+}
+
+TEST(BestStaticTierTest, HighTrafficPrefersHot) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  EXPECT_EQ(best_static_tier(azure, 500.0, 5.0, 0.1), StorageTier::kHot);
+}
+
+TEST(BestStaticTierTest, DeadFilePrefersArchive) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  EXPECT_EQ(best_static_tier(azure, 0.01, 0.001, 0.1), StorageTier::kArchive);
+}
+
+TEST(BestStaticTierTest, MidTrafficPrefersCool) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  // Between the archive (~0.19/day) and hot (~2.4/day) crossovers at 100 MB.
+  EXPECT_EQ(best_static_tier(azure, 1.0, 0.0, 0.1), StorageTier::kCool);
+}
+
+TEST(TierCrossoverTest, CrossoverSeparatesRegimes) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const double gb = 0.1;
+  const double crossover = tier_crossover_reads(azure, StorageTier::kHot,
+                                                StorageTier::kCool, gb);
+  ASSERT_GT(crossover, 0.0);
+  ASSERT_TRUE(std::isfinite(crossover));
+  // Just below: cool cheaper. Just above: hot cheaper.
+  const double below = crossover * 0.9, above = crossover * 1.1;
+  EXPECT_LT(
+      file_day_cost_no_change(azure, StorageTier::kCool, below, 0.0, gb).total(),
+      file_day_cost_no_change(azure, StorageTier::kHot, below, 0.0, gb).total());
+  EXPECT_LT(
+      file_day_cost_no_change(azure, StorageTier::kHot, above, 0.0, gb).total(),
+      file_day_cost_no_change(azure, StorageTier::kCool, above, 0.0, gb).total());
+}
+
+TEST(TierCrossoverTest, ArchiveCrossoverBelowHotCrossover) {
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const double hot_cool =
+      tier_crossover_reads(azure, StorageTier::kHot, StorageTier::kCool, 0.1);
+  const double cool_arch = tier_crossover_reads(azure, StorageTier::kCool,
+                                                StorageTier::kArchive, 0.1);
+  EXPECT_LT(cool_arch, hot_cool);
+}
+
+TEST(TierCrossoverTest, FlatPolicyDegenerates) {
+  const PricingPolicy flat = PricingPolicy::flat_test();
+  // Identical prices: the warmer tier "always wins" by the <=0 storage-delta
+  // convention.
+  EXPECT_DOUBLE_EQ(
+      tier_crossover_reads(flat, StorageTier::kHot, StorageTier::kCool, 0.1),
+      0.0);
+}
+
+}  // namespace
+}  // namespace minicost::sim

@@ -1,0 +1,66 @@
+#include "sim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace minicost::sim {
+namespace {
+
+using pricing::StorageTier;
+
+TEST(LatencyModelTest, DefaultsOrderColdTiersSlower) {
+  const LatencyModel model;
+  EXPECT_LT(model.tier(StorageTier::kHot).p99_ms,
+            model.tier(StorageTier::kCool).p99_ms);
+  EXPECT_LT(model.tier(StorageTier::kCool).p99_ms,
+            model.tier(StorageTier::kArchive).p99_ms);
+  // Archive rehydration is hours, not milliseconds.
+  EXPECT_GT(model.tier(StorageTier::kArchive).median_ms, 1e6);
+}
+
+TEST(LatencyModelTest, RejectsInvalidLatencies) {
+  std::array<TierLatency, pricing::kTierCount> tiers{
+      TierLatency{-1.0, 5.0}, TierLatency{1.0, 2.0}, TierLatency{1.0, 2.0}};
+  EXPECT_THROW(LatencyModel{tiers}, std::invalid_argument);
+  tiers[0] = TierLatency{10.0, 5.0};  // p99 < median
+  EXPECT_THROW(LatencyModel{tiers}, std::invalid_argument);
+}
+
+TEST(LatencyModelTest, SatisfiesComparesP99) {
+  const LatencyModel model;
+  EXPECT_TRUE(model.satisfies(StorageTier::kHot, 100.0));
+  EXPECT_FALSE(model.satisfies(StorageTier::kArchive, 100.0));
+}
+
+TEST(LatencyModelTest, ColdestSatisfyingWalksTowardHot) {
+  const LatencyModel model;
+  EXPECT_EQ(model.coldest_satisfying(1e12), StorageTier::kArchive);
+  EXPECT_EQ(model.coldest_satisfying(500.0), StorageTier::kCool);
+  EXPECT_EQ(model.coldest_satisfying(80.0), StorageTier::kHot);
+  // Impossible ceiling falls back to the best effort (hot).
+  EXPECT_EQ(model.coldest_satisfying(0.001), StorageTier::kHot);
+}
+
+TEST(LatencyModelTest, SampleMedianMatchesConfiguredMedian) {
+  const LatencyModel model;
+  util::Rng rng(3);
+  std::vector<double> samples(20001);
+  for (double& s : samples) s = model.sample_ms(StorageTier::kCool, rng);
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], 30.0, 2.0);
+}
+
+TEST(LatencyModelTest, SamplesArePositive) {
+  const LatencyModel model;
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    for (StorageTier t : pricing::all_tiers()) {
+      EXPECT_GT(model.sample_ms(t, rng), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace minicost::sim

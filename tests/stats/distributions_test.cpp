@@ -1,0 +1,91 @@
+#include "stats/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace minicost::stats {
+namespace {
+
+TEST(ZipfSamplerTest, SamplesAreInRange) {
+  ZipfSampler zipf(1.0, 100);
+  util::Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t k = zipf.sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalFrequenciesMatchPmf) {
+  const double s = 1.2;
+  const std::uint64_t n = 20;
+  ZipfSampler zipf(s, n);
+  util::Rng rng(7);
+  std::vector<double> counts(n, 0.0);
+  const int draws = 300000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf.sample(rng) - 1];
+  const std::vector<double> pmf = zipf_pmf(s, n);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(counts[k] / draws, pmf[k], 0.01) << "rank " << k + 1;
+  }
+}
+
+TEST(ZipfSamplerTest, HandlesLargeDomains) {
+  ZipfSampler zipf(0.9, 4'000'000);  // the paper's article count
+  util::Rng rng(11);
+  std::uint64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) max_seen = std::max(max_seen, zipf.sample(rng));
+  EXPECT_LE(max_seen, 4'000'000u);
+  EXPECT_GT(max_seen, 1000u);  // the tail does get sampled
+}
+
+TEST(ZipfSamplerTest, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(-1.0, 10), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(1.0, 0), std::invalid_argument);
+}
+
+TEST(ZipfPmfTest, IsNormalizedAndDecreasing) {
+  const auto pmf = zipf_pmf(1.5, 50);
+  double total = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    total += pmf[i];
+    if (i > 0) EXPECT_LT(pmf[i], pmf[i - 1]);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(BoundedParetoTest, SamplesWithinBounds) {
+  util::Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = bounded_pareto(rng, 0.45, 0.02, 600.0);
+    EXPECT_GE(x, 0.02);
+    EXPECT_LE(x, 600.0);
+  }
+}
+
+TEST(BoundedParetoTest, TailProbabilityMatchesTheory) {
+  // P(X > x) = (L^a - ... ) ~ for wide ranges approx (L/x)^a.
+  util::Rng rng(17);
+  const double alpha = 0.5, lo = 0.02, hi = 1e6;
+  const double threshold = 2.0;
+  int above = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (bounded_pareto(rng, alpha, lo, hi) > threshold) ++above;
+  }
+  const double expected = std::pow(lo / threshold, alpha);
+  EXPECT_NEAR(above / static_cast<double>(n), expected, 0.01);
+}
+
+TEST(BoundedParetoTest, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(bounded_pareto(rng, 0.0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(bounded_pareto(rng, 1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(bounded_pareto(rng, 1.0, 2.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::stats

@@ -1,0 +1,59 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/synthetic.hpp"
+
+namespace minicost::trace {
+namespace {
+
+TEST(AnalysisTest, BucketMembersPartitionAllFiles) {
+  SyntheticConfig config;
+  config.file_count = 300;
+  config.days = 30;
+  config.seed = 3;
+  const RequestTrace trace = generate_synthetic(config);
+  const VariabilityAnalysis analysis = analyze_variability(trace);
+
+  std::size_t total = 0;
+  std::vector<bool> seen(trace.file_count(), false);
+  for (const auto& bucket : analysis.bucket_members) {
+    for (FileId id : bucket) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, trace.file_count());
+  EXPECT_EQ(analysis.per_file_variability.size(), trace.file_count());
+  EXPECT_EQ(analysis.histogram.total(), trace.file_count());
+}
+
+TEST(AnalysisTest, MembersMatchMeasuredVariability) {
+  SyntheticConfig config;
+  config.file_count = 100;
+  config.days = 30;
+  config.seed = 4;
+  const RequestTrace trace = generate_synthetic(config);
+  const VariabilityAnalysis analysis = analyze_variability(trace);
+  for (std::size_t b = 0; b < analysis.bucket_members.size(); ++b) {
+    for (FileId id : analysis.bucket_members[b]) {
+      EXPECT_EQ(analysis.histogram.bucket_of(analysis.per_file_variability[id]),
+                b);
+    }
+  }
+}
+
+TEST(AnalysisTest, DailyTotalsSumReadsAndWrites) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0, 2.0}, {0.5, 0.5}});
+  files.push_back({"b", 0.1, {3.0, 4.0}, {0.0, 1.0}});
+  const RequestTrace trace(2, std::move(files));
+  const auto totals = daily_request_totals(trace);
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_DOUBLE_EQ(totals[0], 4.5);
+  EXPECT_DOUBLE_EQ(totals[1], 7.5);
+}
+
+}  // namespace
+}  // namespace minicost::trace

@@ -1,0 +1,204 @@
+#include "trace/pagecounts_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include <sstream>
+
+namespace minicost::trace {
+namespace {
+
+TEST(ParsePagecountsLineTest, ParsesClassicFormat) {
+  const auto line = parse_pagecounts_line("en Main_Page 12345 9876543");
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->project, "en");
+  EXPECT_EQ(line->title, "Main_Page");
+  EXPECT_EQ(line->views, 12345u);
+  EXPECT_EQ(line->bytes, 9876543u);
+}
+
+TEST(ParsePagecountsLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_pagecounts_line("").has_value());
+  EXPECT_FALSE(parse_pagecounts_line("en Page").has_value());
+  EXPECT_FALSE(parse_pagecounts_line("en Page notanumber 5").has_value());
+  EXPECT_FALSE(parse_pagecounts_line("en Page 5 notanumber").has_value());
+  EXPECT_FALSE(parse_pagecounts_line("en Page 5 5 extra").has_value());
+  EXPECT_FALSE(parse_pagecounts_line(" Page 5 5").has_value());
+}
+
+TEST(DecodeHourStringTest, DecodesLetterValuePairs) {
+  // B=hour1, G=hour6, X=hour23.
+  const auto hours = decode_hour_string("B12G3X1");
+  EXPECT_EQ(hours[1], 12u);
+  EXPECT_EQ(hours[6], 3u);
+  EXPECT_EQ(hours[23], 1u);
+  EXPECT_EQ(hours[0], 0u);
+}
+
+TEST(DecodeHourStringTest, SkipsUnknownLetters) {
+  const auto hours = decode_hour_string("Z99A5");
+  EXPECT_EQ(hours[0], 5u);
+}
+
+TEST(DecodeHourStringTest, EmptyStringIsAllZero) {
+  const auto hours = decode_hour_string("");
+  for (auto h : hours) EXPECT_EQ(h, 0u);
+}
+
+TEST(PagecountsAggregatorTest, AggregatesHoursIntoDays) {
+  PagecountsAggregator aggregator(2, "en");
+  aggregator.add_line(0, "en Foo 5 100");     // day 0
+  aggregator.add_line(5, "en Foo 3 100");     // day 0
+  aggregator.add_line(25, "en Foo 7 100");    // day 1
+  aggregator.add_line(0, "de Foo 100 100");   // filtered project
+  aggregator.add_line(0, "garbage");          // malformed
+  aggregator.add_line(72, "en Foo 9 100");    // beyond horizon: ignored
+
+  EXPECT_EQ(aggregator.malformed_lines(), 1u);
+  EXPECT_EQ(aggregator.title_count(), 1u);
+
+  const RequestTrace trace = aggregator.build_trace(100.0, 0.02, 1);
+  ASSERT_EQ(trace.file_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(trace.writes(0, 0), 8.0 * 0.02);
+}
+
+TEST(PagecountsAggregatorTest, EmptyProjectFilterKeepsAll) {
+  PagecountsAggregator aggregator(1, "");
+  aggregator.add_line(0, "en A 1 1");
+  aggregator.add_line(0, "de B 2 1");
+  EXPECT_EQ(aggregator.title_count(), 2u);
+}
+
+TEST(PagecountsAggregatorTest, DropsZeroViewTitles) {
+  PagecountsAggregator aggregator(1, "en");
+  aggregator.add_line(0, "en Zero 0 1");
+  aggregator.add_line(0, "en NonZero 5 1");
+  const RequestTrace trace = aggregator.build_trace(100.0, 0.0, 1);
+  ASSERT_EQ(trace.file_count(), 1u);
+  EXPECT_EQ(trace.file(0).name, "NonZero");
+}
+
+TEST(PagecountsAggregatorTest, AddStreamProcessesAllLines) {
+  PagecountsAggregator aggregator(1, "en");
+  std::istringstream in("en A 1 1\nen B 2 1\n\nen A 3 1\n");
+  aggregator.add_stream(0, in);
+  const RequestTrace trace = aggregator.build_trace(100.0, 0.0, 1);
+  ASSERT_EQ(trace.file_count(), 2u);
+  // Deterministic (sorted) title order.
+  EXPECT_EQ(trace.file(0).name, "A");
+  EXPECT_DOUBLE_EQ(trace.reads(0, 0), 4.0);
+}
+
+TEST(PagecountsAggregatorTest, BuildTraceIsDeterministic) {
+  PagecountsAggregator aggregator(1, "en");
+  aggregator.add_line(0, "en A 1 1");
+  aggregator.add_line(0, "en B 2 1");
+  const RequestTrace a = aggregator.build_trace(100.0, 0.02, 7);
+  const RequestTrace b = aggregator.build_trace(100.0, 0.02, 7);
+  ASSERT_EQ(a.file_count(), b.file_count());
+  for (std::size_t i = 0; i < a.file_count(); ++i)
+    EXPECT_EQ(a.file(static_cast<FileId>(i)).size_gb,
+              b.file(static_cast<FileId>(i)).size_gb);
+}
+
+TEST(PagecountsAggregatorTest, RejectsZeroDays) {
+  EXPECT_THROW(PagecountsAggregator(0, "en"), std::invalid_argument);
+}
+
+TEST(LoadPagecountsDirectoryTest, ThrowsOnEmptyDirectory) {
+  const auto dir = std::filesystem::temp_directory_path() / "minicost_empty_pc";
+  std::filesystem::create_directories(dir);
+  EXPECT_THROW(
+      load_pagecounts_directory(dir, 1, "en", 100.0, 0.02, 1),
+      std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LoadPagecountsDirectoryTest, LoadsSortedHourFiles) {
+  const auto dir = std::filesystem::temp_directory_path() / "minicost_pc_dir";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream h0(dir / "pagecounts-00");
+    h0 << "en A 5 1\n";
+    std::ofstream h1(dir / "pagecounts-01");
+    h1 << "en A 2 1\n";
+  }
+  const RequestTrace trace =
+      load_pagecounts_directory(dir, 1, "en", 100.0, 0.0, 1);
+  ASSERT_EQ(trace.file_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 0), 7.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace minicost::trace
+
+namespace minicost::trace {
+namespace {
+
+TEST(ParsePagecountsEzLineTest, ParsesMergedFormat) {
+  const auto line =
+      parse_pagecounts_ez_line("en.z Main_Page 314 1:A5B7,2:C9,31:X3");
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(line->project, "en.z");
+  EXPECT_EQ(line->title, "Main_Page");
+  EXPECT_EQ(line->monthly_total, 314u);
+  ASSERT_EQ(line->daily_views.size(), 3u);
+  EXPECT_EQ(line->daily_views[0], (std::pair<std::size_t, std::uint64_t>{0, 12}));
+  EXPECT_EQ(line->daily_views[1], (std::pair<std::size_t, std::uint64_t>{1, 9}));
+  EXPECT_EQ(line->daily_views[2], (std::pair<std::size_t, std::uint64_t>{30, 3}));
+}
+
+TEST(ParsePagecountsEzLineTest, RejectsMalformed) {
+  EXPECT_FALSE(parse_pagecounts_ez_line("").has_value());
+  EXPECT_FALSE(parse_pagecounts_ez_line("en.z Page 314").has_value());
+  EXPECT_FALSE(parse_pagecounts_ez_line("en.z Page notnum 1:A5").has_value());
+  EXPECT_FALSE(parse_pagecounts_ez_line("en.z Page 1 x 5").has_value());
+}
+
+TEST(ParsePagecountsEzLineTest, SkipsBadDayEntries) {
+  const auto line = parse_pagecounts_ez_line("en.z P 10 bogus,2:B4,:A1");
+  ASSERT_TRUE(line.has_value());
+  ASSERT_EQ(line->daily_views.size(), 1u);
+  EXPECT_EQ(line->daily_views[0].first, 1u);
+  EXPECT_EQ(line->daily_views[0].second, 4u);
+}
+
+TEST(PagecountsEzReaderTest, AccumulatesAcrossMonths) {
+  PagecountsEzReader reader(62, "en.z");
+  reader.add_line(0, "en.z A 10 1:A5,3:B5");     // month 1: days 0, 2
+  reader.add_line(31, "en.z A 7 1:C7");           // month 2: day 31
+  reader.add_line(0, "de.z A 99 1:A99");          // filtered out
+  reader.add_line(0, "garbage");                  // malformed
+  EXPECT_EQ(reader.malformed_lines(), 1u);
+  EXPECT_EQ(reader.title_count(), 1u);
+
+  const RequestTrace trace = reader.build_trace(100.0, 0.02, 3);
+  ASSERT_EQ(trace.file_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 31), 7.0);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 1), 0.0);
+}
+
+TEST(PagecountsEzReaderTest, StreamSkipsComments) {
+  PagecountsEzReader reader(31, "en.z");
+  std::istringstream in("# header\nen.z A 5 1:A5\n");
+  reader.add_stream(0, in);
+  EXPECT_EQ(reader.title_count(), 1u);
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+}
+
+TEST(PagecountsEzReaderTest, DaysBeyondHorizonIgnored) {
+  PagecountsEzReader reader(5, "en.z");
+  reader.add_line(0, "en.z A 9 1:A4,20:B5");
+  const RequestTrace trace = reader.build_trace(100.0, 0.0, 1);
+  ASSERT_EQ(trace.file_count(), 1u);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 0), 4.0);
+}
+
+}  // namespace
+}  // namespace minicost::trace

@@ -1,0 +1,89 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "trace/synthetic.hpp"
+
+namespace minicost::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("minicost_trace_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceIoTest, RoundTripsSyntheticTrace) {
+  SyntheticConfig config;
+  config.file_count = 40;
+  config.days = 10;
+  config.seed = 5;
+  const RequestTrace original = generate_synthetic(config);
+  save_trace(original, path_);
+  const RequestTrace loaded = load_trace(path_);
+
+  ASSERT_EQ(loaded.days(), original.days());
+  ASSERT_EQ(loaded.file_count(), original.file_count());
+  ASSERT_EQ(loaded.groups().size(), original.groups().size());
+  for (std::size_t i = 0; i < original.file_count(); ++i) {
+    const auto id = static_cast<FileId>(i);
+    EXPECT_EQ(loaded.file(id).name, original.file(id).name);
+    EXPECT_DOUBLE_EQ(loaded.file(id).size_gb, original.file(id).size_gb);
+    EXPECT_EQ(loaded.file(id).reads, original.file(id).reads);
+    EXPECT_EQ(loaded.file(id).writes, original.file(id).writes);
+  }
+  for (std::size_t g = 0; g < original.groups().size(); ++g) {
+    EXPECT_EQ(loaded.groups()[g].members, original.groups()[g].members);
+    EXPECT_EQ(loaded.groups()[g].concurrent_reads,
+              original.groups()[g].concurrent_reads);
+  }
+}
+
+TEST_F(TraceIoTest, RoundTripsNamesWithCommas) {
+  std::vector<FileRecord> files;
+  files.push_back({"weird,name \"quoted\"", 0.1, {1.0, 2.0}, {0.0, 0.0}});
+  files.push_back({"plain", 0.2, {3.0, 4.0}, {0.1, 0.1}});
+  const RequestTrace original(2, std::move(files));
+  save_trace(original, path_);
+  const RequestTrace loaded = load_trace(path_);
+  EXPECT_EQ(loaded.file(0).name, "weird,name \"quoted\"");
+}
+
+TEST_F(TraceIoTest, LoadRejectsNonTraceFile) {
+  std::ofstream out(path_);
+  out << "not,a,trace\n";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadRejectsBadRowWidth) {
+  std::ofstream out(path_);
+  out << "minicost-trace,1,3\n";
+  out << "file,foo,0.1,1,2\n";  // 3 days declared, only 2 reads, no writes
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadRejectsUnknownRecordType) {
+  std::ofstream out(path_);
+  out << "minicost-trace,1,1\n";
+  out << "bogus,x\n";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST(TraceIoTest2, LoadMissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace minicost::trace

@@ -1,0 +1,162 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace minicost::trace {
+namespace {
+
+RequestTrace make_trace() {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0, 2.0, 3.0, 4.0}, {0.1, 0.1, 0.1, 0.1}});
+  files.push_back({"b", 0.2, {10.0, 10.0, 10.0, 10.0}, {0.0, 0.0, 0.0, 0.0}});
+  files.push_back({"c", 0.05, {0.0, 8.0, 0.0, 8.0}, {0.2, 0.2, 0.2, 0.2}});
+  std::vector<CoRequestGroup> groups;
+  groups.push_back({{0, 1}, {0.5, 1.0, 1.5, 2.0}});
+  return RequestTrace(4, std::move(files), std::move(groups));
+}
+
+TEST(RequestTraceTest, AccessorsReturnStoredValues) {
+  const RequestTrace trace = make_trace();
+  EXPECT_EQ(trace.days(), 4u);
+  EXPECT_EQ(trace.file_count(), 3u);
+  EXPECT_DOUBLE_EQ(trace.reads(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(trace.writes(2, 0), 0.2);
+  EXPECT_EQ(trace.file(1).name, "b");
+}
+
+TEST(RequestTraceTest, BoundsChecked) {
+  const RequestTrace trace = make_trace();
+  EXPECT_THROW(trace.reads(9, 0), std::out_of_range);
+  EXPECT_THROW(trace.reads(0, 9), std::out_of_range);
+}
+
+TEST(RequestTraceTest, VariabilityIsCoefficientOfVariation) {
+  const RequestTrace trace = make_trace();
+  // File b is constant: CV 0.
+  EXPECT_DOUBLE_EQ(trace.variability(1), 0.0);
+  // File a: mean 2.5, sample sd sqrt(5/3).
+  EXPECT_NEAR(trace.variability(0), std::sqrt(5.0 / 3.0) / 2.5, 1e-12);
+  // File c oscillates hard: high CV.
+  EXPECT_GT(trace.variability(2), 1.0);
+}
+
+TEST(RequestTraceTest, VariabilityOfZeroMeanFileIsZero) {
+  std::vector<FileRecord> files;
+  files.push_back({"dead", 0.1, {0.0, 0.0}, {0.0, 0.0}});
+  const RequestTrace trace(2, std::move(files));
+  EXPECT_DOUBLE_EQ(trace.variability(0), 0.0);
+}
+
+TEST(RequestTraceTest, WindowExtractsDayRange) {
+  const RequestTrace trace = make_trace();
+  const RequestTrace window = trace.window(1, 2);
+  EXPECT_EQ(window.days(), 2u);
+  EXPECT_DOUBLE_EQ(window.reads(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(window.reads(0, 1), 3.0);
+  ASSERT_EQ(window.groups().size(), 1u);
+  EXPECT_DOUBLE_EQ(window.groups()[0].concurrent_reads[0], 1.0);
+}
+
+TEST(RequestTraceTest, WindowBeyondHorizonThrows) {
+  const RequestTrace trace = make_trace();
+  EXPECT_THROW(trace.window(2, 3), std::out_of_range);
+}
+
+TEST(RequestTraceTest, SelectFilesRemapsGroups) {
+  const RequestTrace trace = make_trace();
+  const std::vector<FileId> keep{0, 1};
+  const RequestTrace selected = trace.select_files(keep);
+  EXPECT_EQ(selected.file_count(), 2u);
+  ASSERT_EQ(selected.groups().size(), 1u);
+  EXPECT_EQ(selected.groups()[0].members, (std::vector<FileId>{0, 1}));
+}
+
+TEST(RequestTraceTest, SelectFilesDropsBrokenGroups) {
+  const RequestTrace trace = make_trace();
+  const std::vector<FileId> keep{0, 2};  // group {0,1} loses member 1
+  const RequestTrace selected = trace.select_files(keep);
+  EXPECT_EQ(selected.file_count(), 2u);
+  EXPECT_TRUE(selected.groups().empty());
+}
+
+TEST(RequestTraceTest, SplitPartitionsFiles) {
+  const RequestTrace trace = make_trace();
+  const auto [train, test] = trace.split(0.67, 1);
+  EXPECT_EQ(train.file_count() + test.file_count(), trace.file_count());
+  EXPECT_EQ(train.file_count(), 2u);
+  EXPECT_EQ(train.days(), trace.days());
+  EXPECT_EQ(test.days(), trace.days());
+}
+
+TEST(RequestTraceTest, SplitIsDeterministicPerSeed) {
+  const RequestTrace trace = make_trace();
+  const auto [train_a, test_a] = trace.split(0.5, 9);
+  const auto [train_b, test_b] = trace.split(0.5, 9);
+  ASSERT_EQ(train_a.file_count(), train_b.file_count());
+  for (std::size_t i = 0; i < train_a.file_count(); ++i)
+    EXPECT_EQ(train_a.file(static_cast<FileId>(i)).name,
+              train_b.file(static_cast<FileId>(i)).name);
+}
+
+TEST(RequestTraceTest, SplitRejectsBadFraction) {
+  const RequestTrace trace = make_trace();
+  EXPECT_THROW(trace.split(-0.1, 1), std::invalid_argument);
+  EXPECT_THROW(trace.split(1.1, 1), std::invalid_argument);
+}
+
+TEST(RequestTraceTest, TotalSizeSumsFiles) {
+  const RequestTrace trace = make_trace();
+  EXPECT_NEAR(trace.total_size_gb(), 0.35, 1e-12);
+}
+
+TEST(RequestTraceValidateTest, AcceptsWellFormedTrace) {
+  EXPECT_NO_THROW(make_trace().validate());
+}
+
+TEST(RequestTraceValidateTest, RejectsWrongSeriesLength) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0}, {0.1, 0.2}});
+  const RequestTrace trace(2, std::move(files));
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(RequestTraceValidateTest, RejectsNegativeValues) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0, -1.0}, {0.0, 0.0}});
+  const RequestTrace trace(2, std::move(files));
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(RequestTraceValidateTest, RejectsGroupConcurrencyAboveMemberReads) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0, 1.0}, {0.0, 0.0}});
+  files.push_back({"b", 0.1, {1.0, 1.0}, {0.0, 0.0}});
+  std::vector<CoRequestGroup> groups;
+  groups.push_back({{0, 1}, {2.0, 0.5}});  // 2.0 > member reads 1.0
+  const RequestTrace trace(2, std::move(files), std::move(groups));
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(RequestTraceValidateTest, RejectsSingletonGroups) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0}, {0.0}});
+  std::vector<CoRequestGroup> groups;
+  groups.push_back({{0}, {0.5}});
+  const RequestTrace trace(1, std::move(files), std::move(groups));
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(RequestTraceValidateTest, RejectsOutOfRangeGroupMember) {
+  std::vector<FileRecord> files;
+  files.push_back({"a", 0.1, {1.0}, {0.0}});
+  files.push_back({"b", 0.1, {1.0}, {0.0}});
+  std::vector<CoRequestGroup> groups;
+  groups.push_back({{0, 7}, {0.5}});
+  const RequestTrace trace(1, std::move(files), std::move(groups));
+  EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace minicost::trace

@@ -1,0 +1,104 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace minicost::util {
+namespace {
+
+Cli make_cli() {
+  Cli cli("test", "test program");
+  cli.add_flag("files", "100", "number of files");
+  cli.add_flag("rate", "0.5", "learning rate");
+  cli.add_flag("verbose", "false", "chatty output");
+  cli.add_flag("name", "default", "a string");
+  return cli;
+}
+
+TEST(CliTest, DefaultsApplyWithoutArguments) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.integer("files"), 100);
+  EXPECT_DOUBLE_EQ(cli.real("rate"), 0.5);
+  EXPECT_FALSE(cli.boolean("verbose"));
+  EXPECT_EQ(cli.str("name"), "default");
+}
+
+TEST(CliTest, EqualsFormParses) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--files=250", "--rate=0.125"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.integer("files"), 250);
+  EXPECT_DOUBLE_EQ(cli.real("rate"), 0.125);
+}
+
+TEST(CliTest, SpaceFormParses) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--name", "wiki"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.str("name"), "wiki");
+}
+
+TEST(CliTest, BareFlagIsBooleanTrue) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.boolean("verbose"));
+}
+
+TEST(CliTest, BareFlagBeforeAnotherFlag) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--verbose", "--files=7"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_TRUE(cli.boolean("verbose"));
+  EXPECT_EQ(cli.integer("files"), 7);
+}
+
+TEST(CliTest, PositionalArgumentsCollected) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "input.txt", "--files=1", "output.txt"};
+  ASSERT_TRUE(cli.parse(4, argv));
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+  EXPECT_EQ(cli.positional()[1], "output.txt");
+}
+
+TEST(CliTest, UnknownFlagFailsParse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, UndeclaredAccessThrows) {
+  Cli cli = make_cli();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW(cli.str("nope"), std::invalid_argument);
+}
+
+TEST(CliTest, BooleanAcceptsCommonSpellings) {
+  for (const char* value : {"true", "1", "yes", "on"}) {
+    Cli cli = make_cli();
+    const std::string arg = std::string("--verbose=") + value;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.boolean("verbose")) << value;
+  }
+}
+
+TEST(CliTest, UsageMentionsEveryFlag) {
+  Cli cli = make_cli();
+  const std::string usage = cli.usage();
+  EXPECT_NE(usage.find("--files"), std::string::npos);
+  EXPECT_NE(usage.find("--rate"), std::string::npos);
+  EXPECT_NE(usage.find("--verbose"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace minicost::util

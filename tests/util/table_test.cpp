@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace minicost::util {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table table({"name", "cost"});
+  table.add_row({"hot", "1.25"});
+  table.add_row({"cool", "0.50"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("hot"), std::string::npos);
+  EXPECT_NE(out.find("0.50"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowHelperFormats) {
+  Table table({"label", "v1", "v2"});
+  table.add_row("row", {1.5, 2.25}, 2);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("2.25"), std::string::npos);
+}
+
+TEST(TableTest, CountsRows) {
+  Table table({"a"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableTest, PrintWritesToStream) {
+  Table table({"x"});
+  table.add_row({"y"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(TableTest, HandlesRaggedRows) {
+  Table table({"a", "b"});
+  table.add_row({"only-one"});
+  table.add_row({"1", "2", "3-extra"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("3-extra"), std::string::npos);
+}
+
+TEST(FormatTest, FormatDoubleFixedPrecision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatMoney) {
+  EXPECT_EQ(format_money(12345.678), "$12345.68");
+  EXPECT_EQ(format_money(0.0), "$0.00");
+  EXPECT_EQ(format_money(-3.5), "-$3.50");
+}
+
+TEST(FormatTest, FormatCountGroupsThousands) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(4000000), "4,000,000");
+}
+
+}  // namespace
+}  // namespace minicost::util

@@ -1,0 +1,218 @@
+// minicost — the command-line face of the library.
+//
+//   minicost generate --files 5000 --days 62 --out trace.csv
+//   minicost convert  --pagecounts <dir> --out trace.csv
+//   minicost analyze  <trace.csv>
+//   minicost plan     <trace.csv> --policy optimal|greedy|hot|cold|mpc
+//   minicost crossover [--preset azure|s3|gcs]
+//
+// Everything operates on the CSV trace container of trace/trace_io.hpp, so
+// pipelines can mix synthetic and real (pagecounts) workloads.
+
+#include <iostream>
+#include <memory>
+
+#include "core/forecast_policy.hpp"
+#include "core/greedy.hpp"
+#include "core/optimal.hpp"
+#include "core/planner.hpp"
+#include "sim/cost_model.hpp"
+#include "trace/analysis.hpp"
+#include "trace/pagecounts_parser.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace minicost;
+
+int cmd_generate(int argc, const char* const* argv) {
+  util::Cli cli("minicost generate", "synthesize a Wikipedia-like trace");
+  cli.add_flag("files", "5000", "number of data files");
+  cli.add_flag("days", "62", "horizon in days");
+  cli.add_flag("seed", "42", "generator seed");
+  cli.add_flag("out", "trace.csv", "output trace file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  trace::SyntheticConfig config;
+  config.file_count = static_cast<std::size_t>(cli.integer("files"));
+  config.days = static_cast<std::size_t>(cli.integer("days"));
+  config.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  const trace::RequestTrace tr = trace::generate_synthetic(config);
+  trace::save_trace(tr, cli.str("out"));
+  std::cout << "wrote " << tr.file_count() << " files x " << tr.days()
+            << " days (" << tr.groups().size() << " co-request groups) to "
+            << cli.str("out") << "\n";
+  return 0;
+}
+
+int cmd_convert(int argc, const char* const* argv) {
+  util::Cli cli("minicost convert", "convert Wikimedia dumps to a trace");
+  cli.add_flag("pagecounts", "", "directory of classic hourly dump files");
+  cli.add_flag("days", "62", "horizon in days");
+  cli.add_flag("project", "en", "project filter");
+  cli.add_flag("size-mb", "100", "Poisson mean file size, MB");
+  cli.add_flag("write-ratio", "0.02", "writes per read");
+  cli.add_flag("seed", "42", "size-sampling seed");
+  cli.add_flag("out", "trace.csv", "output trace file");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::string dir = cli.str("pagecounts");
+  if (dir.empty()) {
+    std::cerr << "convert: --pagecounts <dir> is required\n";
+    return 1;
+  }
+  const trace::RequestTrace tr = trace::load_pagecounts_directory(
+      dir, static_cast<std::size_t>(cli.integer("days")), cli.str("project"),
+      cli.real("size-mb"), cli.real("write-ratio"),
+      static_cast<std::uint64_t>(cli.integer("seed")));
+  trace::save_trace(tr, cli.str("out"));
+  std::cout << "converted " << tr.file_count() << " titles to "
+            << cli.str("out") << "\n";
+  return 0;
+}
+
+int cmd_analyze(int argc, const char* const* argv) {
+  util::Cli cli("minicost analyze", "Section-3 style trace analysis");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positional().empty()) {
+    std::cerr << "analyze: need a trace file\n";
+    return 1;
+  }
+  const trace::RequestTrace tr = trace::load_trace(cli.positional().front());
+  std::cout << "trace: " << tr.file_count() << " files x " << tr.days()
+            << " days, " << util::format_double(tr.total_size_gb(), 1)
+            << " GB, " << tr.groups().size() << " co-request groups\n\n";
+
+  const trace::VariabilityAnalysis analysis = trace::analyze_variability(tr);
+  util::Table table({"std-dev bucket", "files", "share"});
+  for (std::size_t b = 0; b < analysis.histogram.bucket_count(); ++b) {
+    table.add_row(
+        {analysis.histogram.label(b),
+         util::format_count(analysis.histogram.count(b)),
+         util::format_double(100.0 * analysis.histogram.share(b), 2) + "%"});
+  }
+  std::cout << table.to_string();
+  return 0;
+}
+
+int cmd_plan(int argc, const char* const* argv) {
+  util::Cli cli("minicost plan", "bill a tiering policy over a trace");
+  cli.add_flag("policy", "optimal", "hot | cold | greedy | optimal | mpc");
+  cli.add_flag("start", "0", "first billed day (default: last 35 days)");
+  cli.add_flag("preset", "azure", "price preset");
+  if (!cli.parse(argc, argv)) return 1;
+  if (cli.positional().empty()) {
+    std::cerr << "plan: need a trace file\n";
+    return 1;
+  }
+  const trace::RequestTrace tr = trace::load_trace(cli.positional().front());
+  const std::string preset = cli.str("preset");
+  const pricing::PricingPolicy prices =
+      preset == "s3"    ? pricing::PricingPolicy::s3_like()
+      : preset == "gcs" ? pricing::PricingPolicy::gcs_like()
+                        : pricing::PricingPolicy::azure_2020();
+
+  core::PlanOptions options;
+  options.start_day = cli.integer("start") > 0
+                          ? static_cast<std::size_t>(cli.integer("start"))
+                          : (tr.days() > 35 ? tr.days() - 35 : 1);
+  options.initial_tiers =
+      core::static_initial_tiers(tr, prices, options.start_day);
+
+  std::unique_ptr<core::TieringPolicy> policy;
+  const std::string which = cli.str("policy");
+  if (which == "hot") policy = core::make_hot_policy();
+  else if (which == "cold") policy = core::make_cold_policy();
+  else if (which == "greedy") policy = std::make_unique<core::GreedyPolicy>();
+  else if (which == "mpc") policy = std::make_unique<core::ForecastMpcPolicy>();
+  else if (which == "optimal") policy = std::make_unique<core::OptimalPolicy>();
+  else {
+    std::cerr << "plan: unknown policy '" << which << "'\n";
+    return 1;
+  }
+
+  const core::PlanResult result = core::run_policy(tr, prices, *policy, options);
+  const auto& total = result.report.grand_total();
+  util::Table bill({"component", "amount"});
+  bill.add_row({"storage (Cs)", util::format_money(total.storage)});
+  bill.add_row({"reads (Cr)", util::format_money(total.read)});
+  bill.add_row({"writes (Cw)", util::format_money(total.write)});
+  bill.add_row({"tier changes (Cc)", util::format_money(total.change)});
+  bill.add_row({"total", util::format_money(total.total())});
+  std::cout << result.policy_name << " over days " << options.start_day << ".."
+            << tr.days() << " (" << prices.name() << "):\n"
+            << bill.to_string() << "tier changes: "
+            << util::format_count(result.report.tier_changes())
+            << ", decision time: "
+            << util::format_double(result.decision_seconds, 2) << "s\n";
+  return 0;
+}
+
+int cmd_crossover(int argc, const char* const* argv) {
+  util::Cli cli("minicost crossover", "tier break-even request rates");
+  cli.add_flag("preset", "azure", "price preset");
+  cli.add_flag("size-mb", "100", "file size, MB");
+  if (!cli.parse(argc, argv)) return 1;
+  const std::string preset = cli.str("preset");
+  const pricing::PricingPolicy prices =
+      preset == "s3"    ? pricing::PricingPolicy::s3_like()
+      : preset == "gcs" ? pricing::PricingPolicy::gcs_like()
+                        : pricing::PricingPolicy::azure_2020();
+  const double gb = cli.real("size-mb") / 1024.0;
+  util::Table table({"boundary", "reads/day"});
+  table.add_row({"hot vs cool",
+                 util::format_double(
+                     sim::tier_crossover_reads(prices,
+                                               pricing::StorageTier::kHot,
+                                               pricing::StorageTier::kCool, gb,
+                                               0.02),
+                     3)});
+  table.add_row({"cool vs archive",
+                 util::format_double(
+                     sim::tier_crossover_reads(
+                         prices, pricing::StorageTier::kCool,
+                         pricing::StorageTier::kArchive, gb, 0.02),
+                     3)});
+  std::cout << prices.name() << " @ " << cli.str("size-mb") << " MB:\n"
+            << table.to_string();
+  return 0;
+}
+
+void usage() {
+  std::cout << "minicost <command> [flags]\n\ncommands:\n"
+               "  generate   synthesize a Wikipedia-like trace\n"
+               "  convert    convert Wikimedia pagecounts dumps to a trace\n"
+               "  analyze    variability analysis of a trace (paper Fig. 2)\n"
+               "  plan       bill a tiering policy over a trace\n"
+               "  crossover  tier break-even request rates for a price preset\n"
+               "\nrun `minicost <command> --help` for per-command flags\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  // Each subcommand re-parses from its own argv slice (argv[1] becomes the
+  // program name).
+  const int sub_argc = argc - 1;
+  const char* const* sub_argv = argv + 1;
+  try {
+    if (command == "generate") return cmd_generate(sub_argc, sub_argv);
+    if (command == "convert") return cmd_convert(sub_argc, sub_argv);
+    if (command == "analyze") return cmd_analyze(sub_argc, sub_argv);
+    if (command == "plan") return cmd_plan(sub_argc, sub_argv);
+    if (command == "crossover") return cmd_crossover(sub_argc, sub_argv);
+  } catch (const std::exception& error) {
+    std::cerr << "minicost " << command << ": " << error.what() << "\n";
+    return 1;
+  }
+  usage();
+  return command == "--help" || command == "-h" ? 0 : 1;
+}
