@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_horizon.cpp" "bench-build/CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o" "gcc" "bench-build/CMakeFiles/ablation_horizon.dir/ablation_horizon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/minicost_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/minicost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/minicost_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/minicost_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minicost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minicost_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reward"
+  "../bench/ablation_reward.pdb"
+  "CMakeFiles/ablation_reward.dir/ablation_reward.cpp.o"
+  "CMakeFiles/ablation_reward.dir/ablation_reward.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_stddev_histogram"
+  "../bench/fig02_stddev_histogram.pdb"
+  "CMakeFiles/fig02_stddev_histogram.dir/fig02_stddev_histogram.cpp.o"
+  "CMakeFiles/fig02_stddev_histogram.dir/fig02_stddev_histogram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_stddev_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_potential_savings"
+  "../bench/fig03_potential_savings.pdb"
+  "CMakeFiles/fig03_potential_savings.dir/fig03_potential_savings.cpp.o"
+  "CMakeFiles/fig03_potential_savings.dir/fig03_potential_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_potential_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

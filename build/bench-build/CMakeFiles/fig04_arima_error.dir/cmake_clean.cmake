@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_arima_error"
+  "../bench/fig04_arima_error.pdb"
+  "CMakeFiles/fig04_arima_error.dir/fig04_arima_error.cpp.o"
+  "CMakeFiles/fig04_arima_error.dir/fig04_arima_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_arima_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

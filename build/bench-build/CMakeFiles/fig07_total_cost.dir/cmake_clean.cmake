@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_total_cost"
+  "../bench/fig07_total_cost.pdb"
+  "CMakeFiles/fig07_total_cost.dir/fig07_total_cost.cpp.o"
+  "CMakeFiles/fig07_total_cost.dir/fig07_total_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_total_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_cost_by_stddev"
+  "../bench/fig08_cost_by_stddev.pdb"
+  "CMakeFiles/fig08_cost_by_stddev.dir/fig08_cost_by_stddev.cpp.o"
+  "CMakeFiles/fig08_cost_by_stddev.dir/fig08_cost_by_stddev.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cost_by_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_learning_rate"
+  "../bench/fig09_learning_rate.pdb"
+  "CMakeFiles/fig09_learning_rate.dir/fig09_learning_rate.cpp.o"
+  "CMakeFiles/fig09_learning_rate.dir/fig09_learning_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_learning_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_greedy_rate"
+  "../bench/fig10_greedy_rate.pdb"
+  "CMakeFiles/fig10_greedy_rate.dir/fig10_greedy_rate.cpp.o"
+  "CMakeFiles/fig10_greedy_rate.dir/fig10_greedy_rate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_greedy_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_network_width"
+  "../bench/fig11_network_width.pdb"
+  "CMakeFiles/fig11_network_width.dir/fig11_network_width.cpp.o"
+  "CMakeFiles/fig11_network_width.dir/fig11_network_width.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_network_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_aggregation"
+  "../bench/fig13_aggregation.pdb"
+  "CMakeFiles/fig13_aggregation.dir/fig13_aggregation.cpp.o"
+  "CMakeFiles/fig13_aggregation.dir/fig13_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

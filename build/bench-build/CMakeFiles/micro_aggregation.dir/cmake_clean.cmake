@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_aggregation"
+  "../bench/micro_aggregation.pdb"
+  "CMakeFiles/micro_aggregation.dir/micro_aggregation.cpp.o"
+  "CMakeFiles/micro_aggregation.dir/micro_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

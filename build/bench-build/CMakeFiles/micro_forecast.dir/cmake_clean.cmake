@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_forecast"
+  "../bench/micro_forecast.pdb"
+  "CMakeFiles/micro_forecast.dir/micro_forecast.cpp.o"
+  "CMakeFiles/micro_forecast.dir/micro_forecast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

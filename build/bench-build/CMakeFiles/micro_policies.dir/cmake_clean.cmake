@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_policies"
+  "../bench/micro_policies.pdb"
+  "CMakeFiles/micro_policies.dir/micro_policies.cpp.o"
+  "CMakeFiles/micro_policies.dir/micro_policies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_bench_common.dir/common.cpp.o"
+  "CMakeFiles/minicost_bench_common.dir/common.cpp.o.d"
+  "libminicost_bench_common.a"
+  "libminicost_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/pricing_table"
+  "../bench/pricing_table.pdb"
+  "CMakeFiles/pricing_table.dir/pricing_table.cpp.o"
+  "CMakeFiles/pricing_table.dir/pricing_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

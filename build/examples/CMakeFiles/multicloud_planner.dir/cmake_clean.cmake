@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicloud_planner.dir/multicloud_planner.cpp.o"
+  "CMakeFiles/multicloud_planner.dir/multicloud_planner.cpp.o.d"
+  "multicloud_planner"
+  "multicloud_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicloud_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_explorer.dir/pricing_explorer.cpp.o"
+  "CMakeFiles/pricing_explorer.dir/pricing_explorer.cpp.o.d"
+  "pricing_explorer"
+  "pricing_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

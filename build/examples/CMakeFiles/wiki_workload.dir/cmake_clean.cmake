@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_workload.dir/wiki_workload.cpp.o"
+  "CMakeFiles/wiki_workload.dir/wiki_workload.cpp.o.d"
+  "wiki_workload"
+  "wiki_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cpp" "src/core/CMakeFiles/minicost_core.dir/aggregation.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/aggregation.cpp.o.d"
+  "/root/repo/src/core/forecast_policy.cpp" "src/core/CMakeFiles/minicost_core.dir/forecast_policy.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/forecast_policy.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/minicost_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/minicost_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/minicost_system.cpp" "src/core/CMakeFiles/minicost_core.dir/minicost_system.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/minicost_system.cpp.o.d"
+  "/root/repo/src/core/multicloud.cpp" "src/core/CMakeFiles/minicost_core.dir/multicloud.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/multicloud.cpp.o.d"
+  "/root/repo/src/core/optimal.cpp" "src/core/CMakeFiles/minicost_core.dir/optimal.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/optimal.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/minicost_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/minicost_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/rl_policy.cpp" "src/core/CMakeFiles/minicost_core.dir/rl_policy.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/rl_policy.cpp.o.d"
+  "/root/repo/src/core/slo_policy.cpp" "src/core/CMakeFiles/minicost_core.dir/slo_policy.cpp.o" "gcc" "src/core/CMakeFiles/minicost_core.dir/slo_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minicost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/minicost_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minicost_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/minicost_rl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

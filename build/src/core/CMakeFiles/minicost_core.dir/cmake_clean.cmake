@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_core.dir/aggregation.cpp.o"
+  "CMakeFiles/minicost_core.dir/aggregation.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/forecast_policy.cpp.o"
+  "CMakeFiles/minicost_core.dir/forecast_policy.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/greedy.cpp.o"
+  "CMakeFiles/minicost_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/metrics.cpp.o"
+  "CMakeFiles/minicost_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/minicost_system.cpp.o"
+  "CMakeFiles/minicost_core.dir/minicost_system.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/multicloud.cpp.o"
+  "CMakeFiles/minicost_core.dir/multicloud.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/optimal.cpp.o"
+  "CMakeFiles/minicost_core.dir/optimal.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/planner.cpp.o"
+  "CMakeFiles/minicost_core.dir/planner.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/policy.cpp.o"
+  "CMakeFiles/minicost_core.dir/policy.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/rl_policy.cpp.o"
+  "CMakeFiles/minicost_core.dir/rl_policy.cpp.o.d"
+  "CMakeFiles/minicost_core.dir/slo_policy.cpp.o"
+  "CMakeFiles/minicost_core.dir/slo_policy.cpp.o.d"
+  "libminicost_core.a"
+  "libminicost_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/acf.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/acf.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/acf.cpp.o.d"
+  "/root/repo/src/forecast/arima.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/arima.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/arima.cpp.o.d"
+  "/root/repo/src/forecast/evaluate.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/evaluate.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/evaluate.cpp.o.d"
+  "/root/repo/src/forecast/ewma.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/ewma.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/ewma.cpp.o.d"
+  "/root/repo/src/forecast/linalg.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/linalg.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/linalg.cpp.o.d"
+  "/root/repo/src/forecast/seasonal_naive.cpp" "src/forecast/CMakeFiles/minicost_forecast.dir/seasonal_naive.cpp.o" "gcc" "src/forecast/CMakeFiles/minicost_forecast.dir/seasonal_naive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_forecast.dir/acf.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/acf.cpp.o.d"
+  "CMakeFiles/minicost_forecast.dir/arima.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/arima.cpp.o.d"
+  "CMakeFiles/minicost_forecast.dir/evaluate.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/evaluate.cpp.o.d"
+  "CMakeFiles/minicost_forecast.dir/ewma.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/ewma.cpp.o.d"
+  "CMakeFiles/minicost_forecast.dir/linalg.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/linalg.cpp.o.d"
+  "CMakeFiles/minicost_forecast.dir/seasonal_naive.cpp.o"
+  "CMakeFiles/minicost_forecast.dir/seasonal_naive.cpp.o.d"
+  "libminicost_forecast.a"
+  "libminicost_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

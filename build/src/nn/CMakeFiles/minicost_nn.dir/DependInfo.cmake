@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/minicost_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "src/nn/CMakeFiles/minicost_nn.dir/conv1d.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/conv1d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/minicost_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/gradient_check.cpp" "src/nn/CMakeFiles/minicost_nn.dir/gradient_check.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/gradient_check.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/minicost_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/minicost_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/minicost_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/minicost_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/minicost_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

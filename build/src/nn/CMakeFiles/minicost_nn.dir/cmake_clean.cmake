@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_nn.dir/activation.cpp.o"
+  "CMakeFiles/minicost_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/conv1d.cpp.o"
+  "CMakeFiles/minicost_nn.dir/conv1d.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/dense.cpp.o"
+  "CMakeFiles/minicost_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/gradient_check.cpp.o"
+  "CMakeFiles/minicost_nn.dir/gradient_check.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/network.cpp.o"
+  "CMakeFiles/minicost_nn.dir/network.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/ops.cpp.o"
+  "CMakeFiles/minicost_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/minicost_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/minicost_nn.dir/serialize.cpp.o"
+  "CMakeFiles/minicost_nn.dir/serialize.cpp.o.d"
+  "libminicost_nn.a"
+  "libminicost_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pricing/catalog.cpp" "src/pricing/CMakeFiles/minicost_pricing.dir/catalog.cpp.o" "gcc" "src/pricing/CMakeFiles/minicost_pricing.dir/catalog.cpp.o.d"
+  "/root/repo/src/pricing/policy.cpp" "src/pricing/CMakeFiles/minicost_pricing.dir/policy.cpp.o" "gcc" "src/pricing/CMakeFiles/minicost_pricing.dir/policy.cpp.o.d"
+  "/root/repo/src/pricing/tier.cpp" "src/pricing/CMakeFiles/minicost_pricing.dir/tier.cpp.o" "gcc" "src/pricing/CMakeFiles/minicost_pricing.dir/tier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_pricing.dir/catalog.cpp.o"
+  "CMakeFiles/minicost_pricing.dir/catalog.cpp.o.d"
+  "CMakeFiles/minicost_pricing.dir/policy.cpp.o"
+  "CMakeFiles/minicost_pricing.dir/policy.cpp.o.d"
+  "CMakeFiles/minicost_pricing.dir/tier.cpp.o"
+  "CMakeFiles/minicost_pricing.dir/tier.cpp.o.d"
+  "libminicost_pricing.a"
+  "libminicost_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a3c.cpp" "src/rl/CMakeFiles/minicost_rl.dir/a3c.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/a3c.cpp.o.d"
+  "/root/repo/src/rl/dqn.cpp" "src/rl/CMakeFiles/minicost_rl.dir/dqn.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/dqn.cpp.o.d"
+  "/root/repo/src/rl/env.cpp" "src/rl/CMakeFiles/minicost_rl.dir/env.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/env.cpp.o.d"
+  "/root/repo/src/rl/feature.cpp" "src/rl/CMakeFiles/minicost_rl.dir/feature.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/feature.cpp.o.d"
+  "/root/repo/src/rl/mdp.cpp" "src/rl/CMakeFiles/minicost_rl.dir/mdp.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/mdp.cpp.o.d"
+  "/root/repo/src/rl/qlearn.cpp" "src/rl/CMakeFiles/minicost_rl.dir/qlearn.cpp.o" "gcc" "src/rl/CMakeFiles/minicost_rl.dir/qlearn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minicost_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minicost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

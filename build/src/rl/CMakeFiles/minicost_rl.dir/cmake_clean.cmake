@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_rl.dir/a3c.cpp.o"
+  "CMakeFiles/minicost_rl.dir/a3c.cpp.o.d"
+  "CMakeFiles/minicost_rl.dir/dqn.cpp.o"
+  "CMakeFiles/minicost_rl.dir/dqn.cpp.o.d"
+  "CMakeFiles/minicost_rl.dir/env.cpp.o"
+  "CMakeFiles/minicost_rl.dir/env.cpp.o.d"
+  "CMakeFiles/minicost_rl.dir/feature.cpp.o"
+  "CMakeFiles/minicost_rl.dir/feature.cpp.o.d"
+  "CMakeFiles/minicost_rl.dir/mdp.cpp.o"
+  "CMakeFiles/minicost_rl.dir/mdp.cpp.o.d"
+  "CMakeFiles/minicost_rl.dir/qlearn.cpp.o"
+  "CMakeFiles/minicost_rl.dir/qlearn.cpp.o.d"
+  "libminicost_rl.a"
+  "libminicost_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/billing.cpp" "src/sim/CMakeFiles/minicost_sim.dir/billing.cpp.o" "gcc" "src/sim/CMakeFiles/minicost_sim.dir/billing.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/minicost_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/minicost_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/sim/CMakeFiles/minicost_sim.dir/latency.cpp.o" "gcc" "src/sim/CMakeFiles/minicost_sim.dir/latency.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/minicost_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/minicost_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

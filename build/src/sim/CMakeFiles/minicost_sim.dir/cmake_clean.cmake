@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_sim.dir/billing.cpp.o"
+  "CMakeFiles/minicost_sim.dir/billing.cpp.o.d"
+  "CMakeFiles/minicost_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/minicost_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/minicost_sim.dir/latency.cpp.o"
+  "CMakeFiles/minicost_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/minicost_sim.dir/simulator.cpp.o"
+  "CMakeFiles/minicost_sim.dir/simulator.cpp.o.d"
+  "libminicost_sim.a"
+  "libminicost_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

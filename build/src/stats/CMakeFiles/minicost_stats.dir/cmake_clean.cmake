@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/minicost_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/minicost_stats.dir/distributions.cpp.o"
+  "CMakeFiles/minicost_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/minicost_stats.dir/error_metrics.cpp.o"
+  "CMakeFiles/minicost_stats.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/minicost_stats.dir/histogram.cpp.o"
+  "CMakeFiles/minicost_stats.dir/histogram.cpp.o.d"
+  "libminicost_stats.a"
+  "libminicost_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

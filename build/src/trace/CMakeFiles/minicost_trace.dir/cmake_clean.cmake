@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_trace.dir/analysis.cpp.o"
+  "CMakeFiles/minicost_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/minicost_trace.dir/pagecounts_parser.cpp.o"
+  "CMakeFiles/minicost_trace.dir/pagecounts_parser.cpp.o.d"
+  "CMakeFiles/minicost_trace.dir/synthetic.cpp.o"
+  "CMakeFiles/minicost_trace.dir/synthetic.cpp.o.d"
+  "CMakeFiles/minicost_trace.dir/trace.cpp.o"
+  "CMakeFiles/minicost_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/minicost_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/minicost_trace.dir/trace_io.cpp.o.d"
+  "libminicost_trace.a"
+  "libminicost_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_util.dir/cli.cpp.o"
+  "CMakeFiles/minicost_util.dir/cli.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/csv.cpp.o"
+  "CMakeFiles/minicost_util.dir/csv.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/env.cpp.o"
+  "CMakeFiles/minicost_util.dir/env.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/log.cpp.o"
+  "CMakeFiles/minicost_util.dir/log.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/rng.cpp.o"
+  "CMakeFiles/minicost_util.dir/rng.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/table.cpp.o"
+  "CMakeFiles/minicost_util.dir/table.cpp.o.d"
+  "CMakeFiles/minicost_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/minicost_util.dir/thread_pool.cpp.o.d"
+  "libminicost_util.a"
+  "libminicost_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

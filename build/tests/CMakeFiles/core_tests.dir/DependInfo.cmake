@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregation_test.cpp" "tests/CMakeFiles/core_tests.dir/core/aggregation_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/aggregation_test.cpp.o.d"
+  "/root/repo/tests/core/forecast_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/forecast_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/forecast_policy_test.cpp.o.d"
+  "/root/repo/tests/core/greedy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/multicloud_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multicloud_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multicloud_test.cpp.o.d"
+  "/root/repo/tests/core/optimal_test.cpp" "tests/CMakeFiles/core_tests.dir/core/optimal_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/optimal_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/policy_test.cpp.o.d"
+  "/root/repo/tests/core/rl_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/rl_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rl_policy_test.cpp.o.d"
+  "/root/repo/tests/core/slo_policy_test.cpp" "tests/CMakeFiles/core_tests.dir/core/slo_policy_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/slo_policy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minicost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/minicost_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/minicost_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minicost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minicost_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

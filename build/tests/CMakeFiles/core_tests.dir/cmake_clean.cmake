@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/aggregation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/aggregation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/forecast_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/forecast_policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/greedy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/greedy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multicloud_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multicloud_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/optimal_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/optimal_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/planner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/rl_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/rl_policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/slo_policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/slo_policy_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pricing_tests.dir/pricing/catalog_test.cpp.o"
+  "CMakeFiles/pricing_tests.dir/pricing/catalog_test.cpp.o.d"
+  "CMakeFiles/pricing_tests.dir/pricing/policy_test.cpp.o"
+  "CMakeFiles/pricing_tests.dir/pricing/policy_test.cpp.o.d"
+  "CMakeFiles/pricing_tests.dir/pricing/tier_test.cpp.o"
+  "CMakeFiles/pricing_tests.dir/pricing/tier_test.cpp.o.d"
+  "pricing_tests"
+  "pricing_tests.pdb"
+  "pricing_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pricing_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_tests.dir/rl/a3c_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/a3c_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/dqn_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/dqn_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/env_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/env_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/feature_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/feature_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/mdp_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/mdp_test.cpp.o.d"
+  "CMakeFiles/rl_tests.dir/rl/qlearn_test.cpp.o"
+  "CMakeFiles/rl_tests.dir/rl/qlearn_test.cpp.o.d"
+  "rl_tests"
+  "rl_tests.pdb"
+  "rl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

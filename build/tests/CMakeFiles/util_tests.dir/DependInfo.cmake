@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/util_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/env_test.cpp" "tests/CMakeFiles/util_tests.dir/util/env_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/env_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/minicost_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/forecast/CMakeFiles/minicost_forecast.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/minicost_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/minicost_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/minicost_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/minicost_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pricing/CMakeFiles/minicost_pricing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/minicost_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/minicost_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicost_cli.dir/minicost_cli.cpp.o"
+  "CMakeFiles/minicost_cli.dir/minicost_cli.cpp.o.d"
+  "minicost"
+  "minicost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicost_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
