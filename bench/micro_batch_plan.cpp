@@ -1,0 +1,116 @@
+// Planning throughput: the scalar decide() loop vs the batched decide_day()
+// pipeline, per policy, on a wide synthetic trace. This is the number the
+// batched-planning refactor is accountable for — one day of tier decisions
+// for every file, as files/second.
+//
+// Output is machine-readable JSON on stdout (one object), e.g.
+//   {"bench":"micro_batch_plan","files":50000, ...,
+//    "results":[{"policy":"MiniCost","scalar_files_per_sec":...,
+//                "batched_files_per_sec":...,"speedup":...}, ...]}
+//
+// MINICOST_SCALE overrides the file count (default 50000); MINICOST_SEED
+// the trace/agent seed.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/greedy.hpp"
+#include "core/planner.hpp"
+#include "core/policy.hpp"
+#include "core/rl_policy.hpp"
+#include "pricing/policy.hpp"
+#include "rl/a3c.hpp"
+#include "trace/synthetic.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace minicost;
+
+struct Measurement {
+  std::string policy;
+  double scalar_seconds = 0.0;
+  double batched_seconds = 0.0;
+};
+
+// Best-of-`repeats` timing of one full-width planning day down each path.
+Measurement measure(core::TieringPolicy& policy, const core::PlanContext& context,
+                    std::size_t day,
+                    const std::vector<pricing::StorageTier>& current,
+                    int repeats = 3) {
+  const std::size_t n = context.trace.file_count();
+  Measurement m;
+  m.policy = policy.name();
+  m.scalar_seconds = 1e300;
+  m.batched_seconds = 1e300;
+  policy.prepare(context);
+  std::vector<pricing::StorageTier> plan(n);
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch watch;
+    for (trace::FileId f = 0; f < n; ++f)
+      plan[f] = policy.decide(context, f, day, current[f]);
+    m.scalar_seconds = std::min(m.scalar_seconds, watch.seconds());
+  }
+  for (int r = 0; r < repeats; ++r) {
+    util::Stopwatch watch;
+    policy.decide_day(context, day, current, plan);
+    m.batched_seconds = std::min(m.batched_seconds, watch.seconds());
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const auto files = static_cast<std::size_t>(util::bench_scale(50000));
+  const std::size_t days = 30;
+  const std::size_t day = 20;  // past the 14-day feature warmup
+
+  trace::SyntheticConfig trace_config;
+  trace_config.file_count = files;
+  trace_config.days = days;
+  trace_config.seed = util::bench_seed();
+  const trace::RequestTrace tr = trace::generate_synthetic(trace_config);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+
+  const std::vector<pricing::StorageTier> initial =
+      core::static_initial_tiers(tr, azure, 14);
+  const core::PlanContext context{tr, azure, 14, days, initial};
+
+  rl::A3CConfig agent_config;
+  agent_config.workers = 1;
+  rl::A3CAgent agent(agent_config, util::bench_seed());
+
+  std::vector<Measurement> results;
+  {
+    auto hot = core::make_hot_policy();
+    results.push_back(measure(*hot, context, day, initial));
+  }
+  {
+    core::GreedyPolicy greedy;
+    results.push_back(measure(greedy, context, day, initial));
+  }
+  {
+    core::RlPolicy minicost(agent);
+    results.push_back(measure(minicost, context, day, initial));
+  }
+
+  std::printf("{\"bench\":\"micro_batch_plan\",\"files\":%zu,\"day\":%zu,"
+              "\"pool_threads\":%zu,\"results\":[",
+              files, day, util::ThreadPool::shared().size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    const double scalar_fps = static_cast<double>(files) / m.scalar_seconds;
+    const double batched_fps = static_cast<double>(files) / m.batched_seconds;
+    std::printf("%s{\"policy\":\"%s\",\"scalar_files_per_sec\":%.1f,"
+                "\"batched_files_per_sec\":%.1f,\"speedup\":%.2f}",
+                i == 0 ? "" : ",", m.policy.c_str(), scalar_fps, batched_fps,
+                m.scalar_seconds / m.batched_seconds);
+  }
+  std::printf("]}\n");
+  return 0;
+}

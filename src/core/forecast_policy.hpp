@@ -28,7 +28,9 @@ struct ForecastMpcConfig {
   std::size_t min_history = 14;
   /// Factory for the per-file forecaster. Defaults to seasonal-naive(7),
   /// which is cheap and exploits the weekly request cycle; swap in
-  /// forecast::Arima or forecast::Ewma via the factory.
+  /// forecast::Arima or forecast::Ewma via the factory. The batched
+  /// decide_day invokes it concurrently across files, so the factory must
+  /// be callable from multiple threads (stateless factories are).
   std::function<std::unique_ptr<forecast::Forecaster>()> make_forecaster;
   /// Clamp negative forecasted frequencies to zero.
   bool clamp_nonnegative = true;
@@ -45,6 +47,9 @@ class ForecastMpcPolicy final : public TieringPolicy {
   pricing::StorageTier decide(const PlanContext& context, trace::FileId file,
                               std::size_t day,
                               pricing::StorageTier current) override;
+
+  /// Per-file state only (plan_[file]), so batch replanning shards safely.
+  bool thread_safe_decide() const noexcept override { return true; }
 
  private:
   /// Re-plans `file` at `day` from its history; fills plan_[file].

@@ -39,6 +39,9 @@ class GreedyPolicy final : public TieringPolicy {
                               std::size_t day,
                               pricing::StorageTier current) override;
 
+  /// Pure per-file pricing — the batched decide_day shards it on the pool.
+  bool thread_safe_decide() const noexcept override { return true; }
+
  private:
   bool include_archive_;
 };
@@ -56,6 +59,8 @@ class ClairvoyantGreedyPolicy final : public TieringPolicy {
   pricing::StorageTier decide(const PlanContext& context, trace::FileId file,
                               std::size_t day,
                               pricing::StorageTier current) override;
+
+  bool thread_safe_decide() const noexcept override { return true; }
 
  private:
   bool include_archive_;

@@ -1,9 +1,13 @@
 #include "core/minicost_system.hpp"
 
+#include <functional>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "core/greedy.hpp"
 #include "core/rl_policy.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost::core {
 
@@ -30,71 +34,84 @@ EvaluationReport MiniCostSystem::evaluate(const trace::RequestTrace& trace,
   options.end_day = end_day;
   options.initial_tiers =
       static_initial_tiers(trace, config_.pricing, start_day);
+  options.pool = config_.pool;
 
   EvaluationReport report;
   report.start_day = start_day;
   report.end_day = end_day;
   report.files = trace.file_count();
 
-  // Optimal first: every other policy's action rate is measured against it.
-  OptimalPolicy optimal;
-  PlanResult optimal_result =
-      run_policy(trace, config_.pricing, optimal, options);
-
-  auto add = [&](PlanResult&& result) {
-    PolicyOutcome outcome;
-    outcome.total_cost = result.report.grand_total().total();
-    outcome.optimal_action_rate =
-        action_agreement(result.plan, optimal_result.plan);
-    outcome.result = std::move(result);
-    report.outcomes.emplace(outcome.result.policy_name, std::move(outcome));
-  };
-
-  {
-    auto hot = make_hot_policy();
-    add(run_policy(trace, config_.pricing, *hot, options));
-  }
-  {
-    auto cold = make_cold_policy();
-    add(run_policy(trace, config_.pricing, *cold, options));
-  }
-  {
-    GreedyPolicy greedy;
-    add(run_policy(trace, config_.pricing, greedy, options));
-  }
-  {
-    RlPolicy minicost(agent_);
-    add(run_policy(trace, config_.pricing, minicost, options));
-  }
-
-  if (config_.aggregation && include_aggregated && !trace.groups().empty()) {
-    // MiniCost with the enhancement: aggregate the profitable groups
-    // (evaluated on the window's first period), then run the same agent on
-    // the rewritten workload.
+  // The aggregation enhancement rewrites the workload, so derive the
+  // aggregated trace up front; its policy run then joins the fan-out.
+  const bool with_aggregation =
+      config_.aggregation && include_aggregated && !trace.groups().empty();
+  std::optional<trace::RequestTrace> aggregated;
+  PlanOptions agg_options = options;
+  if (with_aggregation) {
     const std::vector<GroupEvaluation> evaluations = evaluate_groups(
         trace, config_.pricing, *config_.aggregation, start_day);
-    const trace::RequestTrace aggregated =
-        apply_aggregation(trace, evaluations);
-    PlanOptions agg_options = options;
+    aggregated = apply_aggregation(trace, evaluations);
     agg_options.initial_tiers =
-        static_initial_tiers(aggregated, config_.pricing, start_day);
-    RlPolicy minicost(agent_);
-    PlanResult result =
-        run_policy(aggregated, config_.pricing, minicost, agg_options);
-    result.policy_name = "MiniCost w/E";
-    PolicyOutcome outcome;
-    outcome.total_cost = result.report.grand_total().total();
-    outcome.optimal_action_rate = 0.0;  // plans differ in width; not comparable
-    outcome.result = std::move(result);
-    report.outcomes.emplace("MiniCost w/E", std::move(outcome));
+        static_initial_tiers(*aggregated, config_.pricing, start_day);
   }
 
-  // Record Optimal last (its plan was needed throughout).
-  PolicyOutcome optimal_outcome;
-  optimal_outcome.total_cost = optimal_result.report.grand_total().total();
-  optimal_outcome.optimal_action_rate = 1.0;
-  optimal_outcome.result = std::move(optimal_result);
-  report.outcomes.emplace("Optimal", std::move(optimal_outcome));
+  // Independent policy runs execute concurrently on the pool; each run owns
+  // its policy instance, and the shared agent's batch path is thread-safe.
+  // Index 0 is Optimal — every other policy's action rate is measured
+  // against its plan.
+  std::vector<std::function<PlanResult()>> runs;
+  runs.push_back([&] {
+    OptimalPolicy optimal;
+    return run_policy(trace, config_.pricing, optimal, options);
+  });
+  runs.push_back([&] {
+    auto hot = make_hot_policy();
+    return run_policy(trace, config_.pricing, *hot, options);
+  });
+  runs.push_back([&] {
+    auto cold = make_cold_policy();
+    return run_policy(trace, config_.pricing, *cold, options);
+  });
+  runs.push_back([&] {
+    GreedyPolicy greedy;
+    return run_policy(trace, config_.pricing, greedy, options);
+  });
+  runs.push_back([&] {
+    RlPolicy minicost(agent_);
+    return run_policy(trace, config_.pricing, minicost, options);
+  });
+  if (with_aggregation) {
+    // MiniCost with the enhancement: the same agent on the rewritten
+    // workload (groups aggregated on the window's first period).
+    runs.push_back([&] {
+      RlPolicy minicost(agent_);
+      PlanResult result =
+          run_policy(*aggregated, config_.pricing, minicost, agg_options);
+      result.policy_name = "MiniCost w/E";
+      return result;
+    });
+  }
+
+  std::vector<PlanResult> results(runs.size());
+  util::ThreadPool& pool =
+      config_.pool ? *config_.pool : util::ThreadPool::shared();
+  pool.parallel_for(0, runs.size(),
+                    [&](std::size_t i) { results[i] = runs[i](); });
+
+  std::vector<double> rates(results.size(), 1.0);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    // The aggregated plan differs in width; its rate is not comparable.
+    rates[i] = results[i].policy_name == "MiniCost w/E"
+                   ? 0.0
+                   : action_agreement(results[i].plan, results[0].plan);
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    PolicyOutcome outcome;
+    outcome.total_cost = results[i].report.grand_total().total();
+    outcome.optimal_action_rate = rates[i];
+    outcome.result = std::move(results[i]);
+    report.outcomes.emplace(outcome.result.policy_name, std::move(outcome));
+  }
   return report;
 }
 
@@ -103,16 +120,13 @@ sim::DayPlan MiniCostSystem::plan_day(
     const std::vector<pricing::StorageTier>& current) {
   if (current.size() != trace.file_count())
     throw std::invalid_argument("MiniCostSystem::plan_day: width mismatch");
-  sim::DayPlan plan(trace.file_count());
   const std::size_t h = agent_.featurizer().history_len();
-  for (std::size_t i = 0; i < trace.file_count(); ++i) {
-    if (day < h) {
-      plan[i] = current[i];
-    } else {
-      plan[i] = pricing::tier_from_index(
-          agent_.act(trace.files()[i], day, current[i], /*greedy=*/true));
-    }
-  }
+  if (day < h) return current;  // not enough history yet: hold tiers
+  sim::DayPlan plan(trace.file_count());
+  const std::vector<rl::Action> actions = agent_.act_batch(
+      trace.files(), day, current, /*greedy=*/true, config_.pool);
+  for (std::size_t i = 0; i < plan.size(); ++i)
+    plan[i] = pricing::tier_from_index(actions[i]);
   return plan;
 }
 

@@ -33,6 +33,10 @@ struct MiniCostConfig {
   std::uint64_t seed = 42;
   /// Aggregation enhancement ("MiniCost w/ E"); disabled when nullopt.
   std::optional<AggregationConfig> aggregation;
+  /// Pool evaluate() fans out on (independent policy runs, batched planning
+  /// and billing inside each run); nullptr = the process-shared pool. The
+  /// report is byte-identical for every pool size.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct PolicyOutcome {

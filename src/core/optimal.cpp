@@ -130,7 +130,7 @@ void OptimalPolicy::prepare(const PlanContext& context) {
   const std::size_t n = context.trace.file_count();
   sequences_.assign(n, {});
   std::vector<double> costs(n, 0.0);
-  util::ThreadPool::shared().parallel_for(0, n, [&](std::size_t i) {
+  plan_pool(context).parallel_for(0, n, [&](std::size_t i) {
     OptimalSequence seq = optimal_sequence(
         context.pricing, context.trace.file(static_cast<trace::FileId>(i)),
         context.start_day, context.end_day, context.initial_tiers[i],
@@ -149,6 +149,21 @@ pricing::StorageTier OptimalPolicy::decide(const PlanContext&,
   if (day < start_day_ || day - start_day_ >= seq.size())
     throw std::out_of_range("OptimalPolicy::decide: day outside prepared window");
   return seq[day - start_day_];
+}
+
+void OptimalPolicy::decide_day(const PlanContext& context, std::size_t day,
+                               std::span<const pricing::StorageTier> current,
+                               std::span<pricing::StorageTier> out_plan) {
+  if (current.size() != context.trace.file_count() ||
+      out_plan.size() != context.trace.file_count())
+    throw std::invalid_argument("decide_day: span width != file count");
+  for (std::size_t i = 0; i < out_plan.size(); ++i) {
+    const auto& seq = sequences_.at(i);
+    if (day < start_day_ || day - start_day_ >= seq.size())
+      throw std::out_of_range(
+          "OptimalPolicy::decide_day: day outside prepared window");
+    out_plan[i] = seq[day - start_day_];
+  }
 }
 
 }  // namespace minicost::core

@@ -55,6 +55,11 @@ class OptimalPolicy final : public TieringPolicy {
                               std::size_t day,
                               pricing::StorageTier current) override;
 
+  /// Batch path: one pass copying the precomputed sequences' day column.
+  void decide_day(const PlanContext& context, std::size_t day,
+                  std::span<const pricing::StorageTier> current,
+                  std::span<pricing::StorageTier> out_plan) override;
+
   /// The precomputed minimal total cost over all files (valid after
   /// prepare); equals what the simulator will bill for the same window.
   double planned_cost() const noexcept { return planned_cost_; }

@@ -24,7 +24,8 @@ PlanResult run_policy(const trace::RequestTrace& trace,
   if (initial.size() != n)
     throw std::invalid_argument("run_policy: initial_tiers width mismatch");
 
-  const PlanContext context{trace, pricing, options.start_day, end_day, initial};
+  const PlanContext context{trace,   pricing, options.start_day,
+                            end_day, initial, options.pool};
   policy.prepare(context);
 
   PlanResult result;
@@ -38,11 +39,10 @@ PlanResult run_policy(const trace::RequestTrace& trace,
   for (std::size_t day = options.start_day; day < end_day; ++day) {
     util::Stopwatch watch;
     sim::DayPlan day_plan(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto id = static_cast<trace::FileId>(i);
-      day_plan[i] = policy.decide(context, id, day, current[i]);
-      current[i] = day_plan[i];
-    }
+    // The whole day goes through the batch API; policies fan the per-file
+    // work out over context.pool (see TieringPolicy::decide_day).
+    policy.decide_day(context, day, current, day_plan);
+    current = day_plan;
     result.day_seconds.push_back(watch.seconds());
     result.decision_seconds += result.day_seconds.back();
     result.plan.push_back(std::move(day_plan));
@@ -55,6 +55,7 @@ PlanResult run_policy(const trace::RequestTrace& trace,
   sim::SimulatorOptions sim_options;
   sim_options.initial_tiers = initial;
   sim_options.charge_initial_placement = options.charge_initial_placement;
+  sim_options.pool = options.pool;
   sim::StorageSimulator simulator(window_trace, pricing, sim_options);
   result.report = simulator.run(result.plan);
   return result;

@@ -22,6 +22,9 @@ struct PlanOptions {
   /// Charge Cc when day `start_day`'s assignment differs from the initial
   /// tier (true: the window continues an existing deployment).
   bool charge_initial_placement = true;
+  /// Pool for batched planning and billing; nullptr = the process-shared
+  /// pool. Plans and bills are byte-identical for every pool size.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct PlanResult {

@@ -8,12 +8,23 @@
 // whole-horizon policies (Optimal) can precompute, and online policies can
 // size caches. Policies declare how much of the future they peek at via
 // knowledge() — the evaluation harness prints it so comparisons stay honest.
+//
+// Two decision entry points exist: the scalar decide() (one file) and the
+// batched decide_day() (every file of one day). decide_day() is the hot
+// path at fleet scale; its default implementation reproduces the scalar
+// loop exactly, and every override must keep the outputs byte-identical to
+// that loop (see DESIGN.md, "Batched planning pipeline").
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "pricing/policy.hpp"
 #include "trace/trace.hpp"
+
+namespace minicost::util {
+class ThreadPool;
+}  // namespace minicost::util
 
 namespace minicost::core {
 
@@ -31,7 +42,13 @@ struct PlanContext {
   std::size_t end_day;                    ///< last decision day (exclusive)
   /// Tier each file holds entering start_day; index = FileId.
   const std::vector<pricing::StorageTier>& initial_tiers;
+  /// Pool for batch planning; nullptr = util::ThreadPool::shared(). Results
+  /// never depend on the pool's size (per-index work is independent).
+  util::ThreadPool* pool = nullptr;
 };
+
+/// The pool batch planning runs on: context.pool, or the shared pool.
+util::ThreadPool& plan_pool(const PlanContext& context) noexcept;
 
 class TieringPolicy {
  public:
@@ -48,6 +65,21 @@ class TieringPolicy {
   virtual pricing::StorageTier decide(const PlanContext& context,
                                       trace::FileId file, std::size_t day,
                                       pricing::StorageTier current) = 0;
+
+  /// Batch API: decides the tier of every file for `day` in one call.
+  /// `current[i]` is file i's tier entering the day; the decision lands in
+  /// `out_plan[i]`. Both spans must be trace.file_count() wide (throws
+  /// std::invalid_argument otherwise). The default implementation runs the
+  /// scalar decide() over all files — sharded across plan_pool(context) in
+  /// contiguous chunks when thread_safe_decide() says that is legal — and
+  /// every override must produce byte-identical output to that serial loop.
+  virtual void decide_day(const PlanContext& context, std::size_t day,
+                          std::span<const pricing::StorageTier> current,
+                          std::span<pricing::StorageTier> out_plan);
+
+  /// True when decide() may be called concurrently for distinct files (no
+  /// cross-file mutable state). Lets the default decide_day() parallelize.
+  virtual bool thread_safe_decide() const noexcept { return false; }
 };
 
 /// Pins every file to one tier forever.
@@ -61,6 +93,9 @@ class AlwaysTierPolicy final : public TieringPolicy {
                               pricing::StorageTier) override {
     return tier_;
   }
+  void decide_day(const PlanContext& context, std::size_t day,
+                  std::span<const pricing::StorageTier> current,
+                  std::span<pricing::StorageTier> out_plan) override;
 
  private:
   pricing::StorageTier tier_;

@@ -1,5 +1,8 @@
 #include "core/rl_policy.hpp"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace minicost::core {
 
 pricing::StorageTier RlPolicy::decide(const PlanContext& context,
@@ -11,6 +14,22 @@ pricing::StorageTier RlPolicy::decide(const PlanContext& context,
   agent_.featurizer().encode_into(f, day, current, scratch_);
   const rl::Action action = agent_.act(scratch_, greedy_);
   return pricing::tier_from_index(action);
+}
+
+void RlPolicy::decide_day(const PlanContext& context, std::size_t day,
+                          std::span<const pricing::StorageTier> current,
+                          std::span<pricing::StorageTier> out_plan) {
+  if (current.size() != context.trace.file_count() ||
+      out_plan.size() != context.trace.file_count())
+    throw std::invalid_argument("decide_day: span width != file count");
+  if (day < agent_.featurizer().history_len()) {
+    std::copy(current.begin(), current.end(), out_plan.begin());
+    return;
+  }
+  const std::vector<rl::Action> actions = agent_.act_batch(
+      context.trace.files(), day, current, greedy_, &plan_pool(context));
+  for (std::size_t i = 0; i < actions.size(); ++i)
+    out_plan[i] = pricing::tier_from_index(actions[i]);
 }
 
 }  // namespace minicost::core

@@ -24,6 +24,12 @@ class RlPolicy final : public TieringPolicy {
                               std::size_t day,
                               pricing::StorageTier current) override;
 
+  /// Batch path: one A3CAgent::act_batch call — fused NN forwards sharded
+  /// over the planning pool — instead of one locked forward per file.
+  void decide_day(const PlanContext& context, std::size_t day,
+                  std::span<const pricing::StorageTier> current,
+                  std::span<pricing::StorageTier> out_plan) override;
+
  private:
   rl::A3CAgent& agent_;
   bool greedy_;

@@ -20,11 +20,8 @@ double SloConstrainedPolicy::ceiling_for(trace::FileId file) const {
   return default_max_p99_ms_;
 }
 
-pricing::StorageTier SloConstrainedPolicy::decide(const PlanContext& context,
-                                                  trace::FileId file,
-                                                  std::size_t day,
-                                                  pricing::StorageTier current) {
-  const pricing::StorageTier wanted = inner_.decide(context, file, day, current);
+pricing::StorageTier SloConstrainedPolicy::constrain(
+    trace::FileId file, pricing::StorageTier wanted) {
   const double ceiling = ceiling_for(file);
   if (latency_.satisfies(wanted, ceiling)) return wanted;
   ++overrides_;
@@ -35,6 +32,22 @@ pricing::StorageTier SloConstrainedPolicy::decide(const PlanContext& context,
     if (latency_.satisfies(candidate, ceiling)) return candidate;
   }
   return pricing::StorageTier::kHot;
+}
+
+pricing::StorageTier SloConstrainedPolicy::decide(const PlanContext& context,
+                                                  trace::FileId file,
+                                                  std::size_t day,
+                                                  pricing::StorageTier current) {
+  return constrain(file, inner_.decide(context, file, day, current));
+}
+
+void SloConstrainedPolicy::decide_day(
+    const PlanContext& context, std::size_t day,
+    std::span<const pricing::StorageTier> current,
+    std::span<pricing::StorageTier> out_plan) {
+  inner_.decide_day(context, day, current, out_plan);
+  for (std::size_t i = 0; i < out_plan.size(); ++i)
+    out_plan[i] = constrain(static_cast<trace::FileId>(i), out_plan[i]);
 }
 
 }  // namespace minicost::core

@@ -28,11 +28,20 @@ class SloConstrainedPolicy final : public TieringPolicy {
                               std::size_t day,
                               pricing::StorageTier current) override;
 
+  /// Batches through the inner policy (which may fan out on the pool), then
+  /// applies the SLO clamp file by file on the caller's thread so the
+  /// overrides() counter needs no synchronization.
+  void decide_day(const PlanContext& context, std::size_t day,
+                  std::span<const pricing::StorageTier> current,
+                  std::span<pricing::StorageTier> out_plan) override;
+
   /// How many decisions the constraint has overridden so far.
   std::uint64_t overrides() const noexcept { return overrides_; }
 
  private:
   double ceiling_for(trace::FileId file) const;
+  /// SLO clamp for one decided tier; counts an override when it bites.
+  pricing::StorageTier constrain(trace::FileId file, pricing::StorageTier wanted);
 
   TieringPolicy& inner_;
   sim::LatencyModel latency_;

@@ -19,6 +19,13 @@ void Relu::backward(std::span<const double> grad_out,
     grad_in[i] = cached_input_[i] > 0.0 ? grad_out[i] : 0.0;
 }
 
+void Relu::forward_batch(std::span<const double> in, std::span<double> out,
+                         std::size_t batch) {
+  assert(in.size() == batch * size_ && out.size() == batch * size_);
+  const std::size_t n = batch * size_;
+  for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
 std::unique_ptr<Layer> Relu::clone() const {
   return std::make_unique<Relu>(size_);
 }
@@ -40,6 +47,13 @@ void Tanh::backward(std::span<const double> grad_out,
   assert(cached_output_.size() == size_ && "backward without forward");
   for (std::size_t i = 0; i < size_; ++i)
     grad_in[i] = grad_out[i] * (1.0 - cached_output_[i] * cached_output_[i]);
+}
+
+void Tanh::forward_batch(std::span<const double> in, std::span<double> out,
+                         std::size_t batch) {
+  assert(in.size() == batch * size_ && out.size() == batch * size_);
+  const std::size_t n = batch * size_;
+  for (std::size_t i = 0; i < n; ++i) out[i] = std::tanh(in[i]);
 }
 
 std::unique_ptr<Layer> Tanh::clone() const {

@@ -17,6 +17,8 @@ class Relu final : public Layer {
   void forward(std::span<const double> in, std::span<double> out) override;
   void backward(std::span<const double> grad_out,
                 std::span<double> grad_in) override;
+  void forward_batch(std::span<const double> in, std::span<double> out,
+                     std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return {}; }
   std::span<const double> parameters() const noexcept override { return {}; }
@@ -40,6 +42,8 @@ class Tanh final : public Layer {
   void forward(std::span<const double> in, std::span<double> out) override;
   void backward(std::span<const double> grad_out,
                 std::span<double> grad_in) override;
+  void forward_batch(std::span<const double> in, std::span<double> out,
+                     std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return {}; }
   std::span<const double> parameters() const noexcept override { return {}; }

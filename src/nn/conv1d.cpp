@@ -4,7 +4,53 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/kernel_dispatch.hpp"
+
 namespace minicost::nn {
+namespace {
+
+// Per row b and position p: acc[f] = bias[f] + sum_k x[p+k] * wt[k][f],
+// with wt the transposed filter bank (kernel x filters). As in the dense
+// GEMM, the unit-stride f loop is the vectorized dimension (independent
+// output elements) while each element keeps forward()'s
+// bias-then-taps-in-order accumulation, so rows stay bit-identical to the
+// scalar pass. The filters-wide accumulator lives in registers/L1; the
+// only strided stores are the final scatter into the f-major output row.
+// Filters are processed in fixed-width register tiles (constant-trip inner
+// loops promote the accumulators out of memory), mirroring the dense GEMM.
+MINICOST_TARGET_CLONES void conv_wt_row_major(
+    const double* wt, const double* bias, const double* x, std::size_t input,
+    std::size_t prefix, std::size_t filters, std::size_t kernel,
+    std::size_t out_width, std::size_t batch, double* y) {
+  constexpr std::size_t kTile = 32;
+  const std::size_t pos = prefix - kernel + 1;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* xb = x + b * input;
+    double* yb = y + b * out_width;
+    for (std::size_t p = 0; p < pos; ++p) {
+      std::size_t f0 = 0;
+      for (; f0 + kTile <= filters; f0 += kTile) {
+        double acc[kTile];
+        for (std::size_t j = 0; j < kTile; ++j) acc[j] = bias[f0 + j];
+        for (std::size_t k = 0; k < kernel; ++k) {
+          const double xk = xb[p + k];
+          const double* w = wt + k * filters + f0;
+          for (std::size_t j = 0; j < kTile; ++j) acc[j] += xk * w[j];
+        }
+        for (std::size_t j = 0; j < kTile; ++j)
+          yb[(f0 + j) * pos + p] = acc[j];
+      }
+      for (; f0 < filters; ++f0) {
+        double sum = bias[f0];
+        for (std::size_t k = 0; k < kernel; ++k)
+          sum += xb[p + k] * wt[k * filters + f0];
+        yb[f0 * pos + p] = sum;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Conv1DOverPrefix::Conv1DOverPrefix(std::size_t input_size,
                                    std::size_t prefix_len, std::size_t filters,
@@ -43,6 +89,29 @@ void Conv1DOverPrefix::forward(std::span<const double> in,
   // Aux features pass through after the convolution block.
   for (std::size_t a = 0; a < aux(); ++a)
     out[filters_ * pos + a] = in[prefix_ + a];
+}
+
+void Conv1DOverPrefix::forward_batch(std::span<const double> in,
+                                     std::span<double> out,
+                                     std::size_t batch) {
+  assert(in.size() == batch * input_ && out.size() == batch * output_size());
+  const std::size_t pos = positions();
+  const std::size_t out_width = output_size();
+  // Transpose the filter bank once per batch so the kernel can vectorize
+  // across filters; activations stay row-major.
+  batch_wt_.resize(kernel_ * filters_);
+  for (std::size_t f = 0; f < filters_; ++f)
+    for (std::size_t k = 0; k < kernel_; ++k)
+      batch_wt_[k * filters_ + f] = params_[f * kernel_ + k];
+  conv_wt_row_major(batch_wt_.data(), params_.data() + bias_offset(),
+                    in.data(), input_, prefix_, filters_, kernel_, out_width,
+                    batch, out.data());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* x = in.data() + b * input_;
+    double* y = out.data() + b * out_width;
+    for (std::size_t a = 0; a < aux(); ++a)
+      y[filters_ * pos + a] = x[prefix_ + a];
+  }
 }
 
 void Conv1DOverPrefix::backward(std::span<const double> grad_out,

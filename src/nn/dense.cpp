@@ -3,7 +3,67 @@
 #include <cassert>
 #include <cmath>
 
+#include "nn/kernel_dispatch.hpp"
+
 namespace minicost::nn {
+namespace {
+
+// Per row b: y[o] = bias[o] + sum_i x[i] * wt[i][o], with wt the transposed
+// weight matrix (in x out). The unit-stride o loop is the SIMD dimension —
+// independent output elements, so vectorizing it is always legal — while
+// each element still accumulates bias first and inputs 0..in-1 in order,
+// exactly like the scalar forward(). Rows are therefore bit-identical to
+// per-row forward() calls on every ISA (FP contraction is off for this
+// translation unit). Row-major in and out: the output row lives in L1
+// (or registers) for the whole accumulation — no strided stores.
+// Two levels of blocking:
+//  * output neurons in fixed-width register tiles (constant-trip inner
+//    loops promote the accumulators out of memory and give the OOO core
+//    several independent FP-add chains per input);
+//  * inputs in kIBlk slices with the batch loop inside, so the active wt
+//    slice (kIBlk x out doubles) stays L1-resident across the whole batch
+//    instead of streaming the full matrix from L2 once per row. Partial
+//    sums ride in the output rows between slices — an exact round-trip,
+//    and each y element still accumulates bias first and inputs 0..in-1
+//    in ascending order, exactly like the scalar forward().
+MINICOST_TARGET_CLONES void gemm_wt_row_major(const double* wt,
+                                              const double* bias,
+                                              const double* x, std::size_t in,
+                                              std::size_t out,
+                                              std::size_t batch, double* y) {
+  constexpr std::size_t kTile = 32;
+  constexpr std::size_t kIBlk = 64;
+  for (std::size_t b = 0; b < batch; ++b) {
+    double* yb = y + b * out;
+    for (std::size_t o = 0; o < out; ++o) yb[o] = bias[o];
+  }
+  for (std::size_t i0 = 0; i0 < in; i0 += kIBlk) {
+    const std::size_t iend = std::min(in, i0 + kIBlk);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* xb = x + b * in;
+      double* yb = y + b * out;
+      std::size_t o0 = 0;
+      for (; o0 + kTile <= out; o0 += kTile) {
+        double acc[kTile];
+        for (std::size_t j = 0; j < kTile; ++j) acc[j] = yb[o0 + j];
+        for (std::size_t i = i0; i < iend; ++i) {
+          const double xi = xb[i];
+          const double* w = wt + i * out + o0;
+          for (std::size_t j = 0; j < kTile; ++j) acc[j] += xi * w[j];
+        }
+        for (std::size_t j = 0; j < kTile; ++j) yb[o0 + j] = acc[j];
+      }
+      for (; o0 < out; ++o0) {
+        double sum = yb[o0];
+        for (std::size_t i = i0; i < iend; ++i)
+          sum += xb[i] * wt[i * out + o0];
+        yb[o0] = sum;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
     : in_(in), out_(out), params_(in * out + out), grads_(params_.size(), 0.0) {
@@ -23,6 +83,21 @@ void Dense::forward(std::span<const double> in, std::span<double> out) {
     for (std::size_t i = 0; i < in_; ++i) sum += row[i] * in[i];
     out[o] = sum;
   }
+}
+
+void Dense::forward_batch(std::span<const double> in, std::span<double> out,
+                          std::size_t batch) {
+  assert(in.size() == batch * in_ && out.size() == batch * out_);
+  // The scalar dot product is a serial FP-add chain the compiler may not
+  // reassociate, so the batch kernel vectorizes across output neurons
+  // instead. That needs the weights transposed (amortized over the whole
+  // batch; the activations stay row-major, untouched).
+  batch_wt_.resize(in_ * out_);
+  for (std::size_t o = 0; o < out_; ++o)
+    for (std::size_t i = 0; i < in_; ++i)
+      batch_wt_[i * out_ + o] = params_[o * in_ + i];
+  gemm_wt_row_major(batch_wt_.data(), params_.data() + bias_offset(),
+                    in.data(), in_, out_, batch, out.data());
 }
 
 void Dense::backward(std::span<const double> grad_out,

@@ -18,6 +18,9 @@ class Dense final : public Layer {
   void forward(std::span<const double> in, std::span<double> out) override;
   void backward(std::span<const double> grad_out,
                 std::span<double> grad_in) override;
+  /// One GEMM over the whole batch (weight rows stay hot across rows).
+  void forward_batch(std::span<const double> in, std::span<double> out,
+                     std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return params_; }
   std::span<const double> parameters() const noexcept override { return params_; }
@@ -35,6 +38,7 @@ class Dense final : public Layer {
   std::vector<double> params_;
   std::vector<double> grads_;
   std::vector<double> cached_input_;
+  std::vector<double> batch_wt_;  // forward_batch scratch (transposed W)
 };
 
 }  // namespace minicost::nn

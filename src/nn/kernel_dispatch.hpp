@@ -1,0 +1,18 @@
+#pragma once
+// Runtime ISA dispatch for the batched inference kernels. target_clones
+// compiles the annotated function once per listed ISA and picks the widest
+// the CPU supports at load time (glibc ifunc), so one portable binary still
+// runs 4- or 8-wide over the batch dimension on AVX2/AVX-512 machines.
+//
+// Determinism note: the dispatched kernels are compiled with FP contraction
+// off (see src/nn/CMakeLists.txt), so every lane performs the same
+// multiply-then-add sequence as the scalar forward() path — results are
+// bit-identical across ISAs and to the unvectorized fallback.
+
+#if defined(__x86_64__) && defined(__gnu_linux__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define MINICOST_TARGET_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#else
+#define MINICOST_TARGET_CLONES
+#endif

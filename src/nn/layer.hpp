@@ -4,9 +4,13 @@
 // implement the same architecture natively — see DESIGN.md).
 //
 // Design notes:
-//  * Single-sample forward/backward: the RL agent trains on one transition
-//    at a time (episode roll-outs), so there is no batch dimension. This
-//    keeps layers allocation-free on the hot path.
+//  * Single-sample forward/backward for training: the RL agent trains on
+//    one transition at a time (episode roll-outs), so the gradient path has
+//    no batch dimension. This keeps layers allocation-free on the hot path.
+//  * Batched inference via forward_batch(): the deployed daily planning
+//    loop pushes every file's state through the network at once, one fused
+//    pass per layer instead of B single-sample calls. forward_batch() must
+//    produce rows bit-identical to forward() and never feeds backward().
 //  * A layer owns its parameters and their gradient accumulators; backward()
 //    ACCUMULATES into the gradients (callers zero them per update step).
 //  * Layers cache their last input, so a Network instance is not
@@ -36,6 +40,22 @@ class Layer {
   /// Must be preceded by a forward() on the same input.
   virtual void backward(std::span<const double> grad_out,
                         std::span<double> grad_in) = 0;
+
+  /// Inference-only batched forward: `in` is `batch` rows of input_size()
+  /// (row-major), `out` receives `batch` rows of output_size(). Each output
+  /// row is bit-identical to forward() on the matching input row. May
+  /// clobber any cached forward() state, so it must not precede backward().
+  /// The default loops forward(); parameterized layers override it with a
+  /// fused whole-batch kernel.
+  virtual void forward_batch(std::span<const double> in, std::span<double> out,
+                             std::size_t batch) {
+    const std::size_t in_width = input_size();
+    const std::size_t out_width = output_size();
+    for (std::size_t b = 0; b < batch; ++b) {
+      forward(in.subspan(b * in_width, in_width),
+              out.subspan(b * out_width, out_width));
+    }
+  }
 
   /// Flat views over parameters and their gradient accumulators; empty for
   /// parameterless layers.

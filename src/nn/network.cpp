@@ -51,6 +51,25 @@ std::vector<double> Network::forward(std::span<const double> input) {
   return activations_.back();
 }
 
+std::vector<double> Network::forward_batch(std::span<const double> input,
+                                           std::size_t batch) {
+  if (layers_.empty())
+    return std::vector<double>(input.begin(), input.end());
+  if (input.size() != batch * input_size())
+    throw std::invalid_argument("Network::forward_batch: input size mismatch");
+  // Ping-pong between two reusable scratch buffers (layers never alias
+  // in/out); the wide intermediates are megabytes per chunk, so repeated
+  // calls must not reallocate them. Only the final batch × output_size()
+  // rows are copied out.
+  batch_back_.assign(input.begin(), input.end());
+  for (auto& layer : layers_) {
+    batch_front_.resize(batch * layer->output_size());
+    layer->forward_batch(batch_back_, batch_front_, batch);
+    std::swap(batch_front_, batch_back_);
+  }
+  return std::vector<double>(batch_back_.begin(), batch_back_.end());
+}
+
 std::vector<double> Network::backward(std::span<const double> grad_output) {
   if (layers_.empty())
     return std::vector<double>(grad_output.begin(), grad_output.end());

@@ -30,6 +30,15 @@ class Network {
   /// activations for backward(). Not thread-safe; clone per thread.
   std::vector<double> forward(std::span<const double> input);
 
+  /// Inference-only batched forward: `input` is `batch` rows of
+  /// input_size() (row-major); returns `batch` rows of output_size(). Runs
+  /// one fused kernel per layer instead of `batch` forward() calls; every
+  /// output row is bit-identical to forward() on the matching input row.
+  /// Invalidates forward() state, so backward() must not follow it. Not
+  /// thread-safe; clone per thread.
+  std::vector<double> forward_batch(std::span<const double> input,
+                                    std::size_t batch);
+
   /// Backpropagates dL/d(output), accumulating parameter gradients in every
   /// layer; returns dL/d(input). Must follow a forward() call.
   std::vector<double> backward(std::span<const double> grad_output);
@@ -53,7 +62,8 @@ class Network {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<std::vector<double>> activations_;  // forward scratch
+  std::vector<std::vector<double>> activations_;          // forward scratch
+  std::vector<double> batch_front_, batch_back_;          // forward_batch scratch
 };
 
 /// Builds the MiniCost network trunk (paper Sec. 6.1): the request-history

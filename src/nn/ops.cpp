@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace minicost::nn {
 
@@ -16,6 +17,27 @@ std::vector<double> softmax(std::span<const double> logits) {
   }
   for (double& value : result) value /= total;
   return result;
+}
+
+void softmax_rows(std::span<const double> logits, std::size_t rows,
+                  std::span<double> out) {
+  if (rows == 0) return;
+  if (logits.size() != out.size() || logits.size() % rows != 0)
+    throw std::invalid_argument("softmax_rows: buffer size not rows*width");
+  const std::size_t width = logits.size() / rows;
+  if (width == 0) return;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* x = logits.data() + r * width;
+    double* y = out.data() + r * width;
+    // Same operation order as softmax(): max, exp with running sum, divide.
+    const double peak = *std::max_element(x, x + width);
+    double total = 0.0;
+    for (std::size_t i = 0; i < width; ++i) {
+      y[i] = std::exp(x[i] - peak);
+      total += y[i];
+    }
+    for (std::size_t i = 0; i < width; ++i) y[i] /= total;
+  }
 }
 
 std::vector<double> log_softmax(std::span<const double> logits) {

@@ -9,6 +9,12 @@ namespace minicost::nn {
 /// Numerically stable softmax (subtracts the max before exponentiation).
 std::vector<double> softmax(std::span<const double> logits);
 
+/// Row-wise softmax over a rows×width row-major buffer: out row r is
+/// bit-identical to softmax() of logits row r. `logits` and `out` must both
+/// be rows*width long (throws std::invalid_argument); they may alias.
+void softmax_rows(std::span<const double> logits, std::size_t rows,
+                  std::span<double> out);
+
 /// log(softmax(logits)), stable.
 std::vector<double> log_softmax(std::span<const double> logits);
 

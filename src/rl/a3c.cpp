@@ -11,6 +11,7 @@
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
 #include "stats/descriptive.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost::rl {
 namespace {
@@ -392,6 +393,78 @@ Action A3CAgent::act(std::span<const double> features, bool greedy) {
 Action A3CAgent::act(const trace::FileRecord& file, std::size_t day,
                      pricing::StorageTier current_tier, bool greedy) {
   return act(featurizer_.encode(file, day, current_tier), greedy);
+}
+
+std::vector<Action> A3CAgent::act_batch(
+    std::span<const trace::FileRecord> files, std::size_t day,
+    std::span<const pricing::StorageTier> current_tiers, bool greedy,
+    util::ThreadPool* pool) {
+  if (files.size() != current_tiers.size())
+    throw std::invalid_argument("A3CAgent::act_batch: span width mismatch");
+  const std::size_t n = files.size();
+  std::vector<Action> actions(n);
+  if (n == 0) return actions;
+
+  // Snapshot the actor so the whole batch sees one parameter set and runs
+  // lock-free; cloning a few thousand parameters is noise against the batch.
+  nn::Network actor;
+  {
+    std::scoped_lock lock(param_mutex_);
+    actor = actor_;
+  }
+  const std::uint64_t act_stream = 0xAC7 + env_steps_.load();
+
+  // Chunk size bounds the widest intermediate buffer (chunk × conv width)
+  // and is the unit of work sharded across the pool. Fixed, so decisions
+  // never depend on the pool size. 256 keeps the transposed dense input
+  // (hidden-layer in × chunk doubles) resident in L2.
+  constexpr std::size_t kChunk = 256;
+  const std::size_t width = featurizer_.feature_count();
+  const std::size_t out_width = actor.output_size();
+  const std::size_t chunk_count = (n + kChunk - 1) / kChunk;
+
+  const auto run_chunk = [&](nn::Network& net, std::vector<double>& features,
+                             std::size_t c) {
+    const std::size_t lo = c * kChunk;
+    const std::size_t rows = std::min(n - lo, kChunk);
+    features.resize(rows * width);
+    const std::span<double> rows_span(features);
+    for (std::size_t r = 0; r < rows; ++r)
+      featurizer_.encode_into(files[lo + r], day, current_tiers[lo + r],
+                              rows_span.subspan(r * width, width));
+    std::vector<double> pi = net.forward_batch(features, rows);
+    nn::softmax_rows(pi, rows, pi);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* row = pi.data() + r * out_width;
+      if (greedy) {
+        actions[lo + r] = nn::argmax(std::span<const double>(row, out_width));
+      } else {
+        // Mirror act(): each decision draws from the same forked stream.
+        util::Rng rng = seed_rng_.fork(act_stream);
+        if (rng.bernoulli(config_.epsilon)) {
+          actions[lo + r] =
+              static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
+        } else {
+          actions[lo + r] =
+              rng.weighted_index(std::vector<double>(row, row + out_width));
+        }
+      }
+    }
+  };
+  if (pool && pool->size() > 1 && chunk_count > 1) {
+    // forward_batch state is per-thread: clone the snapshot per chunk.
+    pool->parallel_for(0, chunk_count, [&](std::size_t c) {
+      nn::Network net = actor;
+      std::vector<double> features;
+      run_chunk(net, features, c);
+    });
+  } else {
+    // Serial: one network and one feature buffer serve every chunk.
+    std::vector<double> features;
+    for (std::size_t c = 0; c < chunk_count; ++c)
+      run_chunk(actor, features, c);
+  }
+  return actions;
 }
 
 std::vector<double> A3CAgent::policy_probabilities(

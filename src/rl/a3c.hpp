@@ -14,6 +14,7 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <span>
 
 #include "nn/network.hpp"
 #include "nn/optimizer.hpp"
@@ -22,6 +23,10 @@
 #include "rl/feature.hpp"
 #include "rl/mdp.hpp"
 #include "trace/trace.hpp"
+
+namespace minicost::util {
+class ThreadPool;
+}  // namespace minicost::util
 
 namespace minicost::rl {
 
@@ -130,6 +135,20 @@ class A3CAgent {
   /// Convenience: featurize-then-act for `file` on `day` in `current_tier`.
   Action act(const trace::FileRecord& file, std::size_t day,
              pricing::StorageTier current_tier, bool greedy = true);
+
+  /// Batched deployment path: actions[i] is the tier decision for files[i]
+  /// on `day` given it currently sits in current_tiers[i]. Featurizes the
+  /// whole span and runs fused batch forwards (one kernel per layer and
+  /// chunk) instead of one matrix-vector pass per file; chunks shard across
+  /// `pool` (nullptr = run on the calling thread). Bit-identical to calling
+  /// act() per file, for any pool size. Requires day >= history_len and
+  /// files.size() == current_tiers.size(). Thread-safe: works on a
+  /// parameter snapshot taken under the lock.
+  std::vector<Action> act_batch(std::span<const trace::FileRecord> files,
+                                std::size_t day,
+                                std::span<const pricing::StorageTier> current_tiers,
+                                bool greedy = true,
+                                util::ThreadPool* pool = nullptr);
 
   /// The actor's π(s, ·). Thread-safe.
   std::vector<double> policy_probabilities(std::span<const double> features);

@@ -33,10 +33,18 @@ std::vector<double> Featurizer::encode(const trace::FileRecord& file,
 void Featurizer::encode_into(const trace::FileRecord& file, std::size_t day,
                              pricing::StorageTier current_tier,
                              std::vector<double>& out) const {
+  out.resize(feature_count());
+  encode_into(file, day, current_tier, std::span<double>(out));
+}
+
+void Featurizer::encode_into(const trace::FileRecord& file, std::size_t day,
+                             pricing::StorageTier current_tier,
+                             std::span<double> out) const {
   const std::size_t h = config_.history_len;
   if (day < h || day > file.reads.size())
     throw std::out_of_range("Featurizer::encode: day outside usable range");
-  out.resize(feature_count());
+  if (out.size() != feature_count())
+    throw std::invalid_argument("Featurizer::encode_into: bad row width");
   const double inv_scale = 1.0 / config_.log_scale;
 
   // Read history, oldest first so the conv kernel sees time order.

@@ -7,6 +7,7 @@
 // The day-of-week channel exposes the weekly request cycle (Sec. 3.1) that
 // the convolution alone cannot phase-lock without an absolute reference.
 
+#include <span>
 #include <vector>
 
 #include "pricing/tier.hpp"
@@ -49,6 +50,12 @@ class Featurizer {
   void encode_into(const trace::FileRecord& file, std::size_t day,
                    pricing::StorageTier current_tier,
                    std::vector<double>& out) const;
+
+  /// Span variant for batch buffers: writes one feature row into `out`,
+  /// which must be exactly feature_count() wide.
+  void encode_into(const trace::FileRecord& file, std::size_t day,
+                   pricing::StorageTier current_tier,
+                   std::span<double> out) const;
 
  private:
   FeatureConfig config_;

@@ -2,7 +2,15 @@
 
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace minicost::sim {
+namespace {
+
+/// Below this width a day's bill is cheaper to price inline than to shard.
+constexpr std::size_t kParallelBillingGrain = 1024;
+
+}  // namespace
 
 StorageSimulator::StorageSimulator(const trace::RequestTrace& trace,
                                    const pricing::PricingPolicy& policy,
@@ -30,8 +38,13 @@ void StorageSimulator::advance(const DayPlan& plan) {
 
   const bool charge_change = day_ > 0 || options_.charge_initial_placement;
   const auto& files = trace_.files();
-  for (std::size_t i = 0; i < files.size(); ++i) {
-    const auto id = static_cast<trace::FileId>(i);
+  const std::size_t n = files.size();
+
+  // Phase 1 — price every file-day. Independent per file (the cost model is
+  // separable), so it shards across the pool; writes are disjoint.
+  day_costs_.resize(n);
+  day_changed_.assign(n, 0);
+  const auto price_file = [&](std::size_t i) {
     const trace::FileRecord& f = files[i];
     const pricing::StorageTier tier = plan[i];
     CostBreakdown cost = file_day_cost_no_change(
@@ -39,10 +52,25 @@ void StorageSimulator::advance(const DayPlan& plan) {
     if (tier != tiers_[i]) {
       if (charge_change)
         cost.change = policy_.change_cost(tiers_[i], tier, f.size_gb);
-      report_.count_change(day_);
+      day_changed_[i] = 1;
       tiers_[i] = tier;
     }
-    report_.charge(id, day_, cost);
+    day_costs_[i] = cost;
+  };
+  util::ThreadPool& pool =
+      options_.pool ? *options_.pool : util::ThreadPool::shared();
+  if (pool.size() > 1 && n >= kParallelBillingGrain) {
+    pool.parallel_for(0, n, price_file);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) price_file(i);
+  }
+
+  // Phase 2 — accumulate in file order on one thread: the exact floating-
+  // point reduction order of the serial path, so bills stay byte-identical
+  // regardless of pool size.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (day_changed_[i]) report_.count_change(day_);
+    report_.charge(static_cast<trace::FileId>(i), day_, day_costs_[i]);
   }
   ++day_;
 }

@@ -10,12 +10,17 @@
 // then billed at plan[t]'s prices. Day 0 placements are free by default
 // (initial upload, no re-tiering happened).
 
+#include <cstdint>
 #include <vector>
 
 #include "pricing/policy.hpp"
 #include "sim/billing.hpp"
 #include "sim/cost_model.hpp"
 #include "trace/trace.hpp"
+
+namespace minicost::util {
+class ThreadPool;
+}  // namespace minicost::util
 
 namespace minicost::sim {
 
@@ -33,6 +38,11 @@ struct SimulatorOptions {
   /// Charge Cc when day 0's plan differs from the starting tier. Off by
   /// default: the initial placement is part of the upload, not a re-tiering.
   bool charge_initial_placement = false;
+  /// Pool for per-file daily billing; nullptr = the process-shared pool.
+  /// The cost model is separable across files (DESIGN.md), so pricing runs
+  /// in parallel while the report accumulates serially in file order — the
+  /// bill is byte-identical to the serial path for every pool size.
+  util::ThreadPool* pool = nullptr;
 };
 
 class StorageSimulator {
@@ -66,6 +76,9 @@ class StorageSimulator {
   std::size_t day_ = 0;
   std::vector<pricing::StorageTier> tiers_;
   BillingReport report_;
+  // Per-day scratch for the parallel pricing phase (reused across days).
+  std::vector<CostBreakdown> day_costs_;
+  std::vector<std::uint8_t> day_changed_;
 };
 
 /// One-shot convenience: bill `plan` over `trace` under `policy`.

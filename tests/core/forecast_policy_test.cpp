@@ -108,5 +108,35 @@ TEST(ForecastMpcTest, CustomForecasterFactoryIsUsed) {
   EXPECT_GT(factory_calls, 0);
 }
 
+TEST(ForecastMpcTest, BatchedPlanMatchesScalarPlan) {
+  // MPC keeps per-file plan state, so the sharded decide_day must land on
+  // exactly the plan a fresh instance produces file by file.
+  const trace::RequestTrace tr = make_trace(60);
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const std::size_t start_day = 15;
+  const std::vector<pricing::StorageTier> initial(
+      tr.file_count(), pricing::StorageTier::kCool);
+  const PlanContext context{tr, azure, start_day, tr.days(), initial};
+
+  ForecastMpcPolicy scalar;
+  EXPECT_TRUE(scalar.thread_safe_decide());
+  scalar.prepare(context);
+  sim::HorizonPlan reference;
+  std::vector<pricing::StorageTier> current = initial;
+  for (std::size_t day = start_day; day < tr.days(); ++day) {
+    sim::DayPlan day_plan(tr.file_count());
+    for (trace::FileId f = 0; f < tr.file_count(); ++f)
+      day_plan[f] = scalar.decide(context, f, day, current[f]);
+    current = day_plan;
+    reference.push_back(std::move(day_plan));
+  }
+
+  ForecastMpcPolicy batched;
+  PlanOptions options;
+  options.start_day = start_day;
+  options.initial_tiers = initial;
+  EXPECT_EQ(run_policy(tr, azure, batched, options).plan, reference);
+}
+
 }  // namespace
 }  // namespace minicost::core

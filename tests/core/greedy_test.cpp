@@ -100,6 +100,21 @@ TEST(GreedyPolicyTest, ChangeCostCreatesHysteresis) {
             StorageTier::kCool);
 }
 
+TEST(GreedyPolicyTest, DecideDayMatchesScalarDecide) {
+  const trace::RequestTrace tr = one_file({0.0, 0.0, 500.0, 500.0});
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(1, StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, 4, initial};
+  GreedyPolicy greedy;
+  EXPECT_TRUE(greedy.thread_safe_decide());
+  for (std::size_t day = 1; day < 4; ++day) {
+    std::vector<StorageTier> batch(1);
+    greedy.decide_day(context, day, initial, batch);
+    EXPECT_EQ(batch[0], greedy.decide(context, 0, day, initial[0]))
+        << "day " << day;
+  }
+}
+
 TEST(GreedyPolicyTest, NamesAndKnowledge) {
   EXPECT_EQ(GreedyPolicy().name(), "Greedy");
   EXPECT_EQ(GreedyPolicy(true).name(), "Greedy-3tier");

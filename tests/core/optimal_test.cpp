@@ -159,5 +159,29 @@ TEST(OptimalPolicyTest, KnowledgeIsFullTrace) {
   EXPECT_EQ(policy.name(), "Optimal");
 }
 
+TEST(OptimalPolicyTest, DecideDayCopiesPrecomputedSequences) {
+  util::Rng rng(7);
+  const std::size_t days = 6;
+  std::vector<trace::FileRecord> files;
+  for (int i = 0; i < 4; ++i) files.push_back(random_file(rng, days));
+  const trace::RequestTrace tr(days, std::move(files));
+  const PricingPolicy azure = PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(4, StorageTier::kHot);
+  const PlanContext context{tr, azure, 1, days, initial};
+  OptimalPolicy policy;
+  policy.prepare(context);
+  for (std::size_t day = 1; day < days; ++day) {
+    std::vector<StorageTier> batch(4);
+    policy.decide_day(context, day, initial, batch);
+    for (trace::FileId f = 0; f < 4; ++f)
+      EXPECT_EQ(batch[f], policy.decide(context, f, day, initial[f]))
+          << "file " << f << " day " << day;
+  }
+  // Outside the prepared window the batch path throws like the scalar one.
+  std::vector<StorageTier> batch(4);
+  EXPECT_THROW(policy.decide_day(context, days + 1, initial, batch),
+               std::out_of_range);
+}
+
 }  // namespace
 }  // namespace minicost::core

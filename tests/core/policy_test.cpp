@@ -49,5 +49,32 @@ TEST(AlwaysTierPolicyTest, KnowledgeIsNone) {
   EXPECT_EQ(make_hot_policy()->knowledge(), Knowledge::kNone);
 }
 
+TEST(AlwaysTierPolicyTest, DecideDayFillsWholeBatch) {
+  const trace::RequestTrace tr = tiny_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const std::vector<pricing::StorageTier> current(10,
+                                                  pricing::StorageTier::kCool);
+  const PlanContext context{tr, azure, 0, 10, current};
+  std::vector<pricing::StorageTier> plan(10, pricing::StorageTier::kArchive);
+  auto hot = make_hot_policy();
+  hot->decide_day(context, 3, current, plan);
+  for (pricing::StorageTier t : plan) EXPECT_EQ(t, pricing::StorageTier::kHot);
+}
+
+TEST(TieringPolicyTest, DecideDayValidatesSpanWidths) {
+  const trace::RequestTrace tr = tiny_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const std::vector<pricing::StorageTier> current(10,
+                                                  pricing::StorageTier::kCool);
+  const PlanContext context{tr, azure, 0, 10, current};
+  std::vector<pricing::StorageTier> narrow(3);
+  std::vector<pricing::StorageTier> plan(10);
+  auto hot = make_hot_policy();
+  EXPECT_THROW(hot->decide_day(context, 0, narrow, plan),
+               std::invalid_argument);
+  EXPECT_THROW(hot->decide_day(context, 0, current, narrow),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace minicost::core

@@ -55,6 +55,25 @@ TEST(RlPolicyTest, GreedyDecisionsAreDeterministic) {
   EXPECT_EQ(a.plan, b.plan);
 }
 
+TEST(RlPolicyTest, DecideDayMatchesScalarDecide) {
+  const trace::RequestTrace tr = make_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  rl::A3CAgent agent = make_agent();
+  RlPolicy policy(agent);
+  const std::vector<pricing::StorageTier> current(tr.file_count(),
+                                                  pricing::StorageTier::kCool);
+  const PlanContext context{tr, azure, 14, tr.days(), current};
+  // Before the history warmup the batch path must also hold tiers.
+  std::vector<pricing::StorageTier> batch(tr.file_count());
+  policy.decide_day(context, 3, current, batch);
+  EXPECT_EQ(batch, current);
+  // After warmup: one act_batch call equals the per-file act loop.
+  policy.decide_day(context, 25, current, batch);
+  for (trace::FileId f = 0; f < tr.file_count(); ++f)
+    EXPECT_EQ(batch[f], policy.decide(context, f, 25, current[f]))
+        << "file " << f;
+}
+
 TEST(RlPolicyTest, SampledModeStillProducesValidTiers) {
   const trace::RequestTrace tr = make_trace();
   const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();

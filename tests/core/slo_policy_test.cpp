@@ -90,6 +90,28 @@ TEST(SloPolicyTest, TightCeilingForcesHot) {
   }
 }
 
+TEST(SloPolicyTest, DecideDayClampsAndCountsLikeScalar) {
+  const trace::RequestTrace tr = quiet_trace();
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  const std::vector<StorageTier> initial(tr.file_count(), StorageTier::kCool);
+  const PlanContext context{tr, azure, 1, tr.days(), initial};
+
+  OptimalPolicy inner_scalar, inner_batch;
+  SloConstrainedPolicy scalar(inner_scalar, sim::LatencyModel{}, {}, 500.0);
+  SloConstrainedPolicy batched(inner_batch, sim::LatencyModel{}, {}, 500.0);
+  scalar.prepare(context);
+  batched.prepare(context);
+
+  for (std::size_t day = 1; day < tr.days(); ++day) {
+    std::vector<StorageTier> batch(tr.file_count());
+    batched.decide_day(context, day, initial, batch);
+    for (trace::FileId f = 0; f < tr.file_count(); ++f)
+      EXPECT_EQ(batch[f], scalar.decide(context, f, day, initial[f]));
+  }
+  EXPECT_EQ(batched.overrides(), scalar.overrides());
+  EXPECT_GT(batched.overrides(), 0u);
+}
+
 TEST(SloPolicyTest, ConstraintCostsMoneyButBoundsLatency) {
   const trace::RequestTrace tr = quiet_trace();
   const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();

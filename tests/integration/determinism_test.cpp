@@ -1,12 +1,20 @@
 // Determinism: identical seeds produce identical traces, plans, and bills —
-// the property every reproducible figure rests on.
+// the property every reproducible figure rests on. Since the planning
+// pipeline batches and shards across threads, this suite also pins the two
+// contracts that keep it reproducible: decide_day == a scalar decide() loop,
+// and every result is byte-identical for every pool size.
 #include <gtest/gtest.h>
 
+#include "core/forecast_policy.hpp"
 #include "core/greedy.hpp"
+#include "core/minicost_system.hpp"
 #include "core/optimal.hpp"
 #include "core/planner.hpp"
+#include "core/rl_policy.hpp"
+#include "core/slo_policy.hpp"
 #include "rl/a3c.hpp"
 #include "trace/synthetic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost {
 namespace {
@@ -82,6 +90,144 @@ TEST(DeterminismTest, DifferentSeedsProduceDifferentAgents) {
         agent.featurizer().encode(tr.file(0), 20, pricing::StorageTier::kHot));
   }
   EXPECT_NE(probs[0], probs[1]);
+}
+
+// Reference plan: the pre-batching daily loop — scalar decide() per file,
+// current tiers carried day to day. decide_day must reproduce it exactly.
+sim::HorizonPlan scalar_reference_plan(const trace::RequestTrace& tr,
+                                       const pricing::PricingPolicy& pricing,
+                                       core::TieringPolicy& policy,
+                                       std::size_t start_day) {
+  const std::vector<pricing::StorageTier> initial =
+      core::static_initial_tiers(tr, pricing, start_day);
+  const core::PlanContext context{tr, pricing, start_day, tr.days(), initial};
+  policy.prepare(context);
+  sim::HorizonPlan plan;
+  std::vector<pricing::StorageTier> current = initial;
+  for (std::size_t day = start_day; day < tr.days(); ++day) {
+    sim::DayPlan day_plan(tr.file_count());
+    for (trace::FileId f = 0; f < tr.file_count(); ++f)
+      day_plan[f] = policy.decide(context, f, day, current[f]);
+    current = day_plan;
+    plan.push_back(std::move(day_plan));
+  }
+  return plan;
+}
+
+// Runs the batch path (run_policy -> decide_day, sharded over `pool`) on a
+// fresh `batch` instance and compares against `scalar`'s reference plan.
+void expect_batch_matches_scalar(core::TieringPolicy& scalar,
+                                 core::TieringPolicy& batch,
+                                 util::ThreadPool& pool) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  // Wide enough that the default decide_day shards the scalar loop across
+  // the pool (kParallelDecideGrain) instead of degrading to a serial loop.
+  trace::SyntheticConfig tc = trace_config();
+  tc.file_count = 300;
+  const trace::RequestTrace tr = trace::generate_synthetic(tc);
+  const std::size_t start_day = 15;
+  const sim::HorizonPlan reference =
+      scalar_reference_plan(tr, azure, scalar, start_day);
+  core::PlanOptions options;
+  options.start_day = start_day;
+  options.initial_tiers = core::static_initial_tiers(tr, azure, start_day);
+  options.pool = &pool;
+  const sim::HorizonPlan batched =
+      core::run_policy(tr, azure, batch, options).plan;
+  EXPECT_EQ(reference, batched) << "policy " << batch.name();
+}
+
+TEST(BatchScalarEquivalenceTest, StaticAndHistoryPolicies) {
+  util::ThreadPool pool(4);
+  {
+    auto a = core::make_hot_policy();
+    auto b = core::make_hot_policy();
+    expect_batch_matches_scalar(*a, *b, pool);
+  }
+  {
+    auto a = core::make_cold_policy();
+    auto b = core::make_cold_policy();
+    expect_batch_matches_scalar(*a, *b, pool);
+  }
+  {
+    core::GreedyPolicy a, b;
+    expect_batch_matches_scalar(a, b, pool);
+  }
+  {
+    core::ClairvoyantGreedyPolicy a, b;
+    expect_batch_matches_scalar(a, b, pool);
+  }
+  {
+    core::OptimalPolicy a, b;
+    expect_batch_matches_scalar(a, b, pool);
+  }
+}
+
+TEST(BatchScalarEquivalenceTest, StatefulPolicies) {
+  util::ThreadPool pool(4);
+  {
+    core::ForecastMpcPolicy a, b;
+    expect_batch_matches_scalar(a, b, pool);
+  }
+  {
+    core::GreedyPolicy inner_a, inner_b;
+    core::SloConstrainedPolicy a(inner_a, sim::LatencyModel{}, {}, 500.0);
+    core::SloConstrainedPolicy b(inner_b, sim::LatencyModel{}, {}, 500.0);
+    expect_batch_matches_scalar(a, b, pool);
+    EXPECT_EQ(a.overrides(), b.overrides());
+  }
+}
+
+TEST(BatchScalarEquivalenceTest, RlPolicyGreedyAndSampled) {
+  util::ThreadPool pool(4);
+  rl::A3CConfig config;
+  config.filters = 8;
+  config.hidden = 8;
+  config.workers = 1;
+  rl::A3CAgent agent(config, 77);
+  for (const bool greedy : {true, false}) {
+    core::RlPolicy a(agent, greedy);
+    core::RlPolicy b(agent, greedy);
+    expect_batch_matches_scalar(a, b, pool);
+  }
+}
+
+// The headline reproducibility contract: the full evaluation fan-out —
+// concurrent policy runs, batched NN planning, parallel billing — produces
+// the same report bit for bit whether the pool has one thread or many.
+TEST(DeterminismTest, EvaluateIsPoolSizeIndependent) {
+  trace::SyntheticConfig tc;
+  tc.file_count = 80;
+  tc.days = 62;
+  tc.seed = 47;
+  const trace::RequestTrace tr = trace::generate_synthetic(tc);
+
+  util::ThreadPool one(1), many(4);
+  core::EvaluationReport reports[2];
+  util::ThreadPool* pools[2] = {&one, &many};
+  for (int run = 0; run < 2; ++run) {
+    core::MiniCostConfig config;
+    config.agent.filters = 8;
+    config.agent.hidden = 8;
+    config.agent.workers = 1;
+    config.seed = 51;
+    config.aggregation = core::AggregationConfig{};
+    config.pool = pools[run];
+    core::MiniCostSystem system(config);
+    reports[run] = system.evaluate(tr, 27, 62);
+  }
+
+  ASSERT_EQ(reports[0].outcomes.size(), reports[1].outcomes.size());
+  for (const auto& [name, outcome] : reports[0].outcomes) {
+    ASSERT_TRUE(reports[1].outcomes.count(name)) << name;
+    const core::PolicyOutcome& other = reports[1].outcomes.at(name);
+    EXPECT_EQ(outcome.total_cost, other.total_cost) << name;  // bitwise
+    EXPECT_EQ(outcome.optimal_action_rate, other.optimal_action_rate) << name;
+    EXPECT_EQ(outcome.result.plan, other.result.plan) << name;
+    EXPECT_EQ(outcome.result.report.grand_total().total(),
+              other.result.report.grand_total().total())
+        << name;
+  }
 }
 
 }  // namespace

@@ -149,6 +149,59 @@ TEST(Conv1DTest, RejectsBadGeometry) {
   EXPECT_THROW(Conv1DOverPrefix(4, 5, 1, 2, rng), std::invalid_argument);
 }
 
+TEST(DenseTest, ForwardBatchMatchesPerRowExactly) {
+  util::Rng rng(10);
+  Dense layer(3, 4, rng);
+  const std::size_t batch = 6;
+  util::Rng data(11);
+  std::vector<double> in(batch * 3);
+  for (double& v : in) v = data.normal(0.0, 2.0);
+  std::vector<double> out(batch * 4);
+  layer.forward_batch(in, out, batch);
+  std::vector<double> row_out(4);
+  for (std::size_t b = 0; b < batch; ++b) {
+    layer.forward(std::span<const double>(in.data() + b * 3, 3), row_out);
+    for (std::size_t o = 0; o < 4; ++o)
+      EXPECT_EQ(out[b * 4 + o], row_out[o]) << "row " << b << " out " << o;
+  }
+}
+
+TEST(Conv1DTest, ForwardBatchMatchesPerRowExactly) {
+  util::Rng rng(11);
+  Conv1DOverPrefix layer(8, 6, 2, 3, rng);
+  const std::size_t batch = 5;
+  util::Rng data(12);
+  std::vector<double> in(batch * layer.input_size());
+  for (double& v : in) v = data.uniform(-3.0, 3.0);
+  std::vector<double> out(batch * layer.output_size());
+  layer.forward_batch(in, out, batch);
+  std::vector<double> row_out(layer.output_size());
+  for (std::size_t b = 0; b < batch; ++b) {
+    layer.forward(std::span<const double>(in.data() + b * layer.input_size(),
+                                          layer.input_size()),
+                  row_out);
+    for (std::size_t o = 0; o < row_out.size(); ++o)
+      EXPECT_EQ(out[b * layer.output_size() + o], row_out[o]);
+  }
+}
+
+TEST(ActivationTest, ForwardBatchMatchesPerRowExactly) {
+  Relu relu(3);
+  Tanh tanh_layer(3);
+  const std::vector<double> in{-1.0, 0.0, 2.0, 0.5, -0.5, 3.0};
+  for (Layer* layer : {static_cast<Layer*>(&relu),
+                       static_cast<Layer*>(&tanh_layer)}) {
+    std::vector<double> out(in.size());
+    layer->forward_batch(in, out, 2);
+    std::vector<double> row_out(3);
+    for (std::size_t b = 0; b < 2; ++b) {
+      layer->forward(std::span<const double>(in.data() + b * 3, 3), row_out);
+      for (std::size_t o = 0; o < 3; ++o)
+        EXPECT_EQ(out[b * 3 + o], row_out[o]);
+    }
+  }
+}
+
 TEST(Conv1DTest, SpecDescribesGeometry) {
   util::Rng rng(9);
   EXPECT_EQ(Conv1DOverPrefix(26, 14, 32, 4, rng).spec(), "conv1d 26 14 32 4");

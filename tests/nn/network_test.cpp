@@ -104,6 +104,56 @@ TEST(NetworkTest, BackwardReturnsInputGradient) {
   EXPECT_EQ(grad_in.size(), 3u);
 }
 
+TEST(NetworkTest, ForwardBatchMatchesPerRowForwardExactly) {
+  util::Rng rng(13);
+  Network net = tiny_net(rng);
+  util::Rng data(14);
+  // B=1, a small batch, and one that is not a multiple of any chunk width.
+  for (const std::size_t batch : {1u, 5u, 17u}) {
+    std::vector<double> input(batch * net.input_size());
+    for (double& v : input) v = data.normal(0.0, 1.0);
+    const auto batched = net.forward_batch(input, batch);
+    ASSERT_EQ(batched.size(), batch * net.output_size());
+    for (std::size_t b = 0; b < batch; ++b) {
+      const std::vector<double> row(
+          input.begin() + static_cast<std::ptrdiff_t>(b * net.input_size()),
+          input.begin() +
+              static_cast<std::ptrdiff_t>((b + 1) * net.input_size()));
+      const auto expected = net.forward(row);
+      for (std::size_t o = 0; o < expected.size(); ++o) {
+        // 0 ULP: the batch kernel keeps the scalar accumulation order.
+        EXPECT_EQ(batched[b * net.output_size() + o], expected[o])
+            << "batch=" << batch << " row=" << b << " out=" << o;
+      }
+    }
+  }
+}
+
+TEST(NetworkTest, ForwardBatchMatchesPerRowThroughConvTrunk) {
+  util::Rng rng(15);
+  Network net = build_trunk(14, 12, 16, 4, 16, 3, rng);
+  util::Rng data(16);
+  const std::size_t batch = 7;
+  std::vector<double> input(batch * net.input_size());
+  for (double& v : input) v = data.uniform(-1.0, 1.0);
+  const auto batched = net.forward_batch(input, batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::vector<double> row(
+        input.begin() + static_cast<std::ptrdiff_t>(b * net.input_size()),
+        input.begin() + static_cast<std::ptrdiff_t>((b + 1) * net.input_size()));
+    const auto expected = net.forward(row);
+    for (std::size_t o = 0; o < expected.size(); ++o)
+      EXPECT_EQ(batched[b * net.output_size() + o], expected[o]);
+  }
+}
+
+TEST(NetworkTest, ForwardBatchValidatesInputSize) {
+  util::Rng rng(17);
+  Network net = tiny_net(rng);
+  EXPECT_THROW(net.forward_batch(std::vector<double>(7, 0.0), 2),
+               std::invalid_argument);
+}
+
 TEST(BuildTrunkTest, MatchesPaperArchitectureShapes) {
   util::Rng rng(10);
   // 14-day history + 12 aux, 128 filters of 4, 128 hidden (paper Sec. 6.1),

@@ -36,6 +36,44 @@ TEST(SoftmaxTest, EmptyInputYieldsEmpty) {
   EXPECT_TRUE(softmax(std::vector<double>{}).empty());
 }
 
+TEST(SoftmaxRowsTest, MatchesSoftmaxPerRowExactly) {
+  const std::vector<double> logits{1.0, 2.0,   3.0,  -1.0,  0.0,
+                                   5.0, 100.0, 99.0, -100.0};
+  std::vector<double> out(logits.size());
+  softmax_rows(logits, 3, out);
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto expected =
+        softmax(std::span<const double>(logits.data() + r * 3, 3));
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(out[r * 3 + i], expected[i]) << "row " << r << " col " << i;
+  }
+}
+
+TEST(SoftmaxRowsTest, SupportsInPlaceAliasing) {
+  std::vector<double> buffer{0.5, -1.0, 2.0, 4.0, 4.0, 4.0};
+  const std::vector<double> copy = buffer;
+  softmax_rows(buffer, 2, buffer);
+  for (std::size_t r = 0; r < 2; ++r) {
+    const auto expected =
+        softmax(std::span<const double>(copy.data() + r * 3, 3));
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(buffer[r * 3 + i], expected[i]);
+  }
+}
+
+TEST(SoftmaxRowsTest, RejectsMismatchedBuffers) {
+  std::vector<double> out(6);
+  EXPECT_THROW(softmax_rows(std::vector<double>(5, 0.0), 2, out),
+               std::invalid_argument);
+  EXPECT_THROW(softmax_rows(std::vector<double>(6, 0.0), 4, out),
+               std::invalid_argument);
+}
+
+TEST(SoftmaxRowsTest, ZeroRowsIsANoop) {
+  std::vector<double> out;
+  softmax_rows(std::vector<double>{}, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(LogSoftmaxTest, MatchesLogOfSoftmax) {
   const std::vector<double> logits{0.5, -1.0, 2.0};
   const auto pi = softmax(logits);

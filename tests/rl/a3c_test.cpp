@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "trace/synthetic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost::rl {
 namespace {
@@ -98,6 +99,54 @@ TEST(A3CAgentTest, GreedyActIsDeterministic) {
   const Action a = agent.act(features, /*greedy=*/true);
   for (int i = 0; i < 5; ++i) EXPECT_EQ(agent.act(features, true), a);
   EXPECT_LT(a, kActionCount);
+}
+
+TEST(A3CAgentTest, ActBatchMatchesScalarActGreedy) {
+  A3CAgent agent(tiny_config(), 9);
+  const trace::RequestTrace trace = small_trace();
+  const std::vector<pricing::StorageTier> current(
+      trace.file_count(), pricing::StorageTier::kCool);
+  const auto batched =
+      agent.act_batch(trace.files(), 20, current, /*greedy=*/true);
+  ASSERT_EQ(batched.size(), trace.file_count());
+  for (std::size_t i = 0; i < trace.file_count(); ++i) {
+    EXPECT_EQ(batched[i],
+              agent.act(trace.files()[i], 20, current[i], /*greedy=*/true))
+        << "file " << i;
+  }
+}
+
+TEST(A3CAgentTest, ActBatchMatchesScalarActSampled) {
+  A3CAgent agent(tiny_config(), 21);
+  const trace::RequestTrace trace = small_trace();
+  const std::vector<pricing::StorageTier> current(
+      trace.file_count(), pricing::StorageTier::kHot);
+  const auto batched =
+      agent.act_batch(trace.files(), 25, current, /*greedy=*/false);
+  for (std::size_t i = 0; i < trace.file_count(); ++i) {
+    EXPECT_EQ(batched[i],
+              agent.act(trace.files()[i], 25, current[i], /*greedy=*/false))
+        << "file " << i;
+  }
+}
+
+TEST(A3CAgentTest, ActBatchIsPoolSizeIndependent) {
+  A3CAgent agent(tiny_config(), 23);
+  const trace::RequestTrace trace = small_trace(1200);
+  const std::vector<pricing::StorageTier> current(
+      trace.file_count(), pricing::StorageTier::kCool);
+  util::ThreadPool one(1), many(4);
+  const auto serial = agent.act_batch(trace.files(), 20, current, true, &one);
+  const auto sharded = agent.act_batch(trace.files(), 20, current, true, &many);
+  EXPECT_EQ(serial, sharded);
+}
+
+TEST(A3CAgentTest, ActBatchValidatesWidths) {
+  A3CAgent agent(tiny_config(), 25);
+  const trace::RequestTrace trace = small_trace();
+  const std::vector<pricing::StorageTier> wrong(3, pricing::StorageTier::kHot);
+  EXPECT_THROW(agent.act_batch(trace.files(), 20, wrong, true),
+               std::invalid_argument);
 }
 
 TEST(A3CAgentTest, MultiWorkerTrainingRuns) {
