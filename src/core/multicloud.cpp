@@ -18,7 +18,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 MultiCloudPlanner::MultiCloudPlanner(pricing::PriceCatalog catalog,
                                      MultiCloudConfig config)
     : catalog_(std::move(catalog)), config_(config) {
-  if (catalog_.size() == 0)
+  if (catalog_.empty())
     throw std::invalid_argument("MultiCloudPlanner: empty catalog");
   if (config.cross_dc_transfer_per_gb < 0.0)
     throw std::invalid_argument("MultiCloudPlanner: negative transfer price");

@@ -1,12 +1,12 @@
 #include "forecast/evaluate.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 
 #include "forecast/arima.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/error_metrics.hpp"
+#include "util/mutex.hpp"
 #include "util/thread_pool.hpp"
 
 namespace minicost::forecast {
@@ -28,7 +28,7 @@ BacktestResult backtest(const trace::RequestTrace& trace,
   BacktestResult result;
   result.bucket_errors.assign(buckets.bucket_count(), {});
   std::vector<std::uint64_t> bucket_files(buckets.bucket_count(), 0);
-  std::mutex merge_mutex;
+  util::Mutex merge_mutex;
 
   const auto& files = trace.files();
   util::ThreadPool::shared().parallel_for(0, files.size(), [&](std::size_t i) {
@@ -60,7 +60,7 @@ BacktestResult backtest(const trace::RequestTrace& trace,
     const double cv = m > 0.0 ? stats::stddev(history) / m : 0.0;
     const std::size_t bucket = buckets.bucket_of(cv);
 
-    std::scoped_lock lock(merge_mutex);
+    util::MutexLock lock(merge_mutex);
     auto& sink = result.bucket_errors[bucket];
     sink.insert(sink.end(), errors.begin(), errors.end());
     ++bucket_files[bucket];

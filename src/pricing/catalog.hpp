@@ -25,6 +25,7 @@ class PriceCatalog {
   std::size_t add(Datacenter dc);
 
   std::size_t size() const noexcept { return datacenters_.size(); }
+  bool empty() const noexcept { return datacenters_.empty(); }
   const Datacenter& at(std::size_t index) const { return datacenters_.at(index); }
 
   /// Finds a datacenter by name; throws std::out_of_range if absent.

@@ -72,7 +72,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
                                                util::Rng& rng) {
   // Sync local nets from the shared parameters.
   {
-    std::scoped_lock lock(param_mutex_);
+    util::MutexLock lock(param_mutex_);
     actor.load_parameters(actor_.snapshot_parameters());
     critic.load_parameters(critic_.snapshot_parameters());
   }
@@ -148,8 +148,8 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
 
   // Entropy weight with linear warmup (see A3CConfig), measured from the
   // current initialization's start.
-  const std::size_t warmup_start = warmup_start_.load();
-  const std::size_t episodes_total = episodes_.load();
+  const std::size_t warmup_start = warmup_start_.load(std::memory_order_relaxed);
+  const std::size_t episodes_total = episodes_.load(std::memory_order_relaxed);
   const std::size_t episodes_done =
       episodes_total > warmup_start ? episodes_total - warmup_start : 0;
   double beta = config_.entropy_beta;
@@ -194,7 +194,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
   nn::clip_by_global_norm(critic_grads, config_.grad_clip_norm);
 
   {
-    std::scoped_lock lock(param_mutex_);
+    util::MutexLock lock(param_mutex_);
     std::vector<double> shared_actor = actor_.snapshot_parameters();
     actor_opt_->step(shared_actor, actor_grads);
     actor_.load_parameters(shared_actor);
@@ -256,7 +256,7 @@ void A3CAgent::train(const trace::RequestTrace& trace,
   // Init racing (see A3CConfig::init_candidates): probe several fresh
   // initializations, keep the best performer's parameters.
   const std::size_t probe = config_.candidate_probe_episodes;
-  if (episodes_.load() == 0 && config_.init_candidates > 1 && probe > 1 &&
+  if (episodes_.load(std::memory_order_relaxed) == 0 && config_.init_candidates > 1 && probe > 1 &&
       options.episodes >= (config_.init_candidates + 1) * probe) {
     double best_reward = -std::numeric_limits<double>::infinity();
     std::vector<double> best_actor, best_critic;
@@ -264,13 +264,14 @@ void A3CAgent::train(const trace::RequestTrace& trace,
          ++candidate) {
       if (candidate > 0) {
         util::Rng init = seed_rng_.fork(0xBEEF00 + candidate);
-        std::scoped_lock lock(param_mutex_);
+        util::MutexLock lock(param_mutex_);
         actor_ = make_actor(config_, featurizer_, init);
         critic_ = make_critic(config_, featurizer_, init);
         actor_opt_ = make_optimizer(config_);
         critic_opt_ = make_optimizer(config_);
       }
-      warmup_start_.store(episodes_.load());
+      warmup_start_.store(episodes_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
       run_batch(trace, policy, weights, probe / 2, epoch, round++);
       const EpisodeOutcome second_half =
           run_batch(trace, policy, weights, probe - probe / 2, epoch, round++);
@@ -280,27 +281,31 @@ void A3CAgent::train(const trace::RequestTrace& trace,
               : 0.0;
       if (mean_reward > best_reward) {
         best_reward = mean_reward;
-        std::scoped_lock lock(param_mutex_);
+        util::MutexLock lock(param_mutex_);
         best_actor = actor_.snapshot_parameters();
         best_critic = critic_.snapshot_parameters();
       }
       remaining -= probe;
     }
     {
-      std::scoped_lock lock(param_mutex_);
+      util::MutexLock lock(param_mutex_);
       actor_.load_parameters(best_actor);
       critic_.load_parameters(best_critic);
       actor_opt_ = make_optimizer(config_);
       critic_opt_ = make_optimizer(config_);
     }
     // The winner continues mid-schedule: give it the post-warmup floor.
-    warmup_start_.store(episodes_.load() >= config_.entropy_warmup_episodes
-                            ? episodes_.load() - config_.entropy_warmup_episodes
-                            : 0);
+    warmup_start_.store(
+        episodes_.load(std::memory_order_relaxed) >=
+                config_.entropy_warmup_episodes
+            ? episodes_.load(std::memory_order_relaxed) -
+                  config_.entropy_warmup_episodes
+            : 0,
+        std::memory_order_relaxed);
     if (options.on_progress) {
       TrainProgress progress;
-      progress.episodes_done = episodes_.load();
-      progress.env_steps = env_steps_.load();
+      progress.episodes_done = episodes_.load(std::memory_order_relaxed);
+      progress.env_steps = env_steps_.load(std::memory_order_relaxed);
       progress.mean_reward = best_reward;
       progress.mean_step_cost = 0.0;
       options.on_progress(progress);
@@ -315,8 +320,8 @@ void A3CAgent::train(const trace::RequestTrace& trace,
         run_batch(trace, policy, weights, batch, epoch, round++);
     if (options.on_progress) {
       TrainProgress progress;
-      progress.episodes_done = episodes_.load();
-      progress.env_steps = env_steps_.load();
+      progress.episodes_done = episodes_.load(std::memory_order_relaxed);
+      progress.env_steps = env_steps_.load(std::memory_order_relaxed);
       progress.mean_reward =
           outcome.steps > 0
               ? outcome.reward_sum / static_cast<double>(outcome.steps)
@@ -338,7 +343,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
   const std::size_t max_start = trace.days() - 1;  // at least one step
 
   std::atomic<std::int64_t> todo{static_cast<std::int64_t>(batch)};
-  std::mutex stats_mutex;
+  util::Mutex stats_mutex;
   EpisodeOutcome total;
 
   auto worker_fn = [&](std::size_t worker_id) {
@@ -347,7 +352,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
     nn::Network actor = make_actor(config_, featurizer_, rng);
     nn::Network critic = make_critic(config_, featurizer_, rng);
     EpisodeOutcome local;
-    while (todo.fetch_sub(1) > 0) {
+    while (todo.fetch_sub(1, std::memory_order_relaxed) > 0) {
       const auto file = static_cast<trace::FileId>(rng.weighted_index(weights));
       const std::size_t span = max_start - h;
       const std::size_t start =
@@ -360,10 +365,10 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
       local.reward_sum += outcome.reward_sum;
       local.cost_sum += outcome.cost_sum;
       local.steps += outcome.steps;
-      episodes_.fetch_add(1);
-      env_steps_.fetch_add(outcome.steps);
+      episodes_.fetch_add(1, std::memory_order_relaxed);
+      env_steps_.fetch_add(outcome.steps, std::memory_order_relaxed);
     }
-    std::scoped_lock lock(stats_mutex);
+    util::MutexLock lock(stats_mutex);
     total.reward_sum += local.reward_sum;
     total.cost_sum += local.cost_sum;
     total.steps += local.steps;
@@ -384,7 +389,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
 Action A3CAgent::act(std::span<const double> features, bool greedy) {
   const std::vector<double> pi = policy_probabilities(features);
   if (greedy) return nn::argmax(pi);
-  util::Rng rng = seed_rng_.fork(0xAC7 + env_steps_.load());
+  util::Rng rng = seed_rng_.fork(0xAC7 + env_steps_.load(std::memory_order_relaxed));
   if (rng.bernoulli(config_.epsilon))
     return static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
   return rng.weighted_index(pi);
@@ -409,10 +414,10 @@ std::vector<Action> A3CAgent::act_batch(
   // lock-free; cloning a few thousand parameters is noise against the batch.
   nn::Network actor;
   {
-    std::scoped_lock lock(param_mutex_);
+    util::MutexLock lock(param_mutex_);
     actor = actor_;
   }
-  const std::uint64_t act_stream = 0xAC7 + env_steps_.load();
+  const std::uint64_t act_stream = 0xAC7 + env_steps_.load(std::memory_order_relaxed);
 
   // Chunk size bounds the widest intermediate buffer (chunk × conv width)
   // and is the unit of work sharded across the pool. Fixed, so decisions
@@ -469,17 +474,17 @@ std::vector<Action> A3CAgent::act_batch(
 
 std::vector<double> A3CAgent::policy_probabilities(
     std::span<const double> features) {
-  std::scoped_lock lock(param_mutex_);
+  util::MutexLock lock(param_mutex_);
   return nn::softmax(actor_.forward(features));
 }
 
 double A3CAgent::value(std::span<const double> features) {
-  std::scoped_lock lock(param_mutex_);
+  util::MutexLock lock(param_mutex_);
   return critic_.forward(features)[0];
 }
 
 void A3CAgent::save(const std::filesystem::path& path) const {
-  std::scoped_lock lock(param_mutex_);
+  util::MutexLock lock(param_mutex_);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("A3CAgent::save: cannot open " + path.string());
   nn::save_network(actor_, out);
@@ -491,7 +496,7 @@ void A3CAgent::load(const std::filesystem::path& path) {
   if (!in) throw std::runtime_error("A3CAgent::load: cannot open " + path.string());
   nn::Network actor = nn::load_network(in);
   nn::Network critic = nn::load_network(in);
-  std::scoped_lock lock(param_mutex_);
+  util::MutexLock lock(param_mutex_);
   if (actor.parameter_count() != actor_.parameter_count() ||
       critic.parameter_count() != critic_.parameter_count())
     throw std::runtime_error("A3CAgent::load: architecture mismatch");
@@ -499,7 +504,8 @@ void A3CAgent::load(const std::filesystem::path& path) {
   critic_ = std::move(critic);
 }
 
-std::size_t A3CAgent::parameter_count() const noexcept {
+std::size_t A3CAgent::parameter_count() const {
+  util::MutexLock lock(param_mutex_);
   return actor_.parameter_count() + critic_.parameter_count();
 }
 

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <filesystem>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <span>
 
@@ -23,6 +22,8 @@
 #include "rl/feature.hpp"
 #include "rl/mdp.hpp"
 #include "trace/trace.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace minicost::util {
 class ThreadPool;
@@ -156,15 +157,19 @@ class A3CAgent {
   /// The critic's V(s). Thread-safe.
   double value(std::span<const double> features);
 
-  std::size_t trained_episodes() const noexcept { return episodes_.load(); }
-  std::size_t trained_steps() const noexcept { return env_steps_.load(); }
+  std::size_t trained_episodes() const noexcept {
+    return episodes_.load(std::memory_order_relaxed);
+  }
+  std::size_t trained_steps() const noexcept {
+    return env_steps_.load(std::memory_order_relaxed);
+  }
 
   /// Checkpointing: persists both networks (and nothing else; optimizer
   /// state restarts cold).
   void save(const std::filesystem::path& path) const;
   void load(const std::filesystem::path& path);
 
-  std::size_t parameter_count() const noexcept;
+  std::size_t parameter_count() const;
 
  private:
   struct EpisodeOutcome {
@@ -191,12 +196,21 @@ class A3CAgent {
   A3CConfig config_;
   Featurizer featurizer_;
 
-  mutable std::mutex param_mutex_;
-  nn::Network actor_;
-  nn::Network critic_;
-  std::unique_ptr<nn::Optimizer> actor_opt_;
-  std::unique_ptr<nn::Optimizer> critic_opt_;
+  // Shared parameter server (DESIGN.md §8): workers synchronize local nets
+  // from — and apply per-episode gradients to — actor_/critic_ strictly
+  // under param_mutex_; the optimizers' moment state lives with them.
+  mutable util::Mutex param_mutex_;
+  nn::Network actor_ MC_GUARDED_BY(param_mutex_);
+  nn::Network critic_ MC_GUARDED_BY(param_mutex_);
+  std::unique_ptr<nn::Optimizer> actor_opt_ MC_GUARDED_BY(param_mutex_);
+  std::unique_ptr<nn::Optimizer> critic_opt_ MC_GUARDED_BY(param_mutex_);
 
+  // Progress counters. All accesses use std::memory_order_relaxed: they are
+  // monotone statistics (episode/step totals, warmup baseline) that gate
+  // only scalar schedules (entropy warmup) and reporting — no other memory
+  // is published through them, so no acquire/release pairing is needed.
+  // Cross-thread publication of learned state goes exclusively through
+  // param_mutex_.
   std::atomic<std::size_t> episodes_{0};
   /// Episode count at the current initialization's start (racing resets
   /// it so every candidate sees the full entropy-warmup schedule).

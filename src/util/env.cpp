@@ -5,6 +5,7 @@
 namespace minicost::util {
 
 std::int64_t env_int(const std::string& name, std::int64_t fallback) noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; nothing calls setenv
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
@@ -13,6 +14,7 @@ std::int64_t env_int(const std::string& name, std::int64_t fallback) noexcept {
 }
 
 double env_double(const std::string& name, double fallback) noexcept {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; nothing calls setenv
   const char* value = std::getenv(name.c_str());
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
@@ -21,6 +23,7 @@ double env_double(const std::string& name, double fallback) noexcept {
 }
 
 std::string env_str(const std::string& name, const std::string& fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; nothing calls setenv
   const char* value = std::getenv(name.c_str());
   return value == nullptr ? fallback : std::string(value);
 }

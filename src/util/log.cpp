@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/mutex.hpp"
+
 namespace minicost::util {
 namespace {
 
@@ -13,6 +15,7 @@ std::atomic<LogLevel> g_level{LogLevel::kInfo};
 std::once_flag g_env_once;
 
 void init_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only getenv; nothing calls setenv
   if (const char* env = std::getenv("MINICOST_LOG")) {
     g_level.store(parse_log_level(env));
   }
@@ -51,12 +54,12 @@ LogLevel parse_log_level(const std::string& name) noexcept {
 namespace detail {
 
 void log_line(LogLevel level, const std::string& message) {
-  static std::mutex mutex;
+  static Mutex mutex;
   const auto now = std::chrono::system_clock::now();
   const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                       now.time_since_epoch())
                       .count();
-  std::scoped_lock lock(mutex);
+  MutexLock lock(mutex);
   std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), level_name(level),

@@ -1,0 +1,44 @@
+#pragma once
+// Clang thread-safety-analysis macros (no-ops on GCC and MSVC).
+//
+// These wrap the [[clang::...]] capability attributes so the concurrency
+// invariants of the library — which mutex guards which member, which
+// functions must (not) be called with a lock held — are part of the type
+// system instead of comments. Under Clang the whole tree compiles with
+// -Wthread-safety promoted to an error (see the top-level CMakeLists), so a
+// forgotten lock is a build break, not a TSAN lottery ticket. See
+// DESIGN.md §8 for the concurrency model these annotations enforce and
+// src/util/mutex.hpp for the annotated Mutex/MutexLock pair they attach to.
+//
+// Naming follows the LLVM/Abseil convention with an MC_ prefix:
+//   MC_CAPABILITY("mutex")   - class is a lockable capability
+//   MC_SCOPED_CAPABILITY     - RAII class that acquires/releases in ctor/dtor
+//   MC_GUARDED_BY(mu)        - member may only be read/written holding mu
+//   MC_PT_GUARDED_BY(mu)     - pointee guarded by mu (pointer itself is not)
+//   MC_REQUIRES(mu)          - caller must hold mu
+//   MC_EXCLUDES(mu)          - caller must NOT hold mu (non-reentrant locks)
+//   MC_ACQUIRE(mu)/MC_RELEASE(mu) - function acquires/releases mu
+//   MC_TRY_ACQUIRE(ok, mu)   - acquires mu iff the return value equals ok
+//   MC_RETURN_CAPABILITY(mu) - function returns a reference to mu
+//   MC_NO_THREAD_SAFETY_ANALYSIS - opt a function out (justify at the site)
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MC_THREAD_ANNOTATION(x)  // no-op: GCC ignores the analysis
+#endif
+
+#define MC_CAPABILITY(x) MC_THREAD_ANNOTATION(capability(x))
+#define MC_SCOPED_CAPABILITY MC_THREAD_ANNOTATION(scoped_lockable)
+#define MC_GUARDED_BY(x) MC_THREAD_ANNOTATION(guarded_by(x))
+#define MC_PT_GUARDED_BY(x) MC_THREAD_ANNOTATION(pt_guarded_by(x))
+#define MC_REQUIRES(...) \
+  MC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MC_EXCLUDES(...) MC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define MC_ACQUIRE(...) MC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MC_RELEASE(...) MC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MC_TRY_ACQUIRE(...) \
+  MC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define MC_RETURN_CAPABILITY(x) MC_THREAD_ANNOTATION(lock_returned(x))
+#define MC_NO_THREAD_SAFETY_ANALYSIS \
+  MC_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace minicost::util {
@@ -16,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::scoped_lock lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -27,14 +28,28 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_.wait(lock, [this]() MC_REQUIRES(mutex_) {
+        return stop_ || !queue_.empty();
+      });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
     }
     task();
   }
+}
+
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    MutexLock lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -46,7 +61,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 
   std::atomic<std::size_t> next{begin};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
 
   auto run_chunks = [&] {
     while (true) {
@@ -56,7 +71,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
       } catch (...) {
-        std::scoped_lock lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
         return;
       }
@@ -70,7 +85,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   // never deadlocks this loop.
   for (std::size_t i = 1; i < helpers; ++i) pending.push_back(submit(run_chunks));
   run_chunks();
-  for (auto& future : pending) future.wait();
+  // Join the helpers, draining other queued tasks while any helper is still
+  // pending. A blocked wait here is only reached once the queue is empty,
+  // i.e. when the helper is *executing* on another thread; that thread obeys
+  // the same rule, so the wait graph follows execution nesting and is
+  // acyclic — nested parallel_for cannot deadlock.
+  for (auto& future : pending) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one()) {
+        future.wait();
+        break;
+      }
+    }
+  }
 
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -3,15 +3,23 @@
 // parallel_for used for the library's embarrassingly parallel loops
 // (per-file DP, ARIMA fits, policy evaluation). Degrades to useful behaviour
 // on a single hardware thread: parallel_for then runs chunks inline.
+//
+// Concurrency model (DESIGN.md §8): the queue and the stop flag are the only
+// shared mutable state, guarded by mutex_ and annotated for Clang's
+// -Wthread-safety. Threads that block inside parallel_for help drain the
+// queue while they wait, so nested parallel_for / submit-from-a-task cannot
+// deadlock at any nesting depth even when every worker is busy.
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace minicost::util {
 
@@ -28,14 +36,16 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; the returned future resolves with the task's result
-  /// (or its exception).
+  /// (or its exception). Do not block on the future from inside a pool
+  /// task — use parallel_for (which helps while waiting) for fan-out that
+  /// must join.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
     {
-      std::scoped_lock lock(mutex_);
+      MutexLock lock(mutex_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -44,7 +54,10 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [begin, end), splitting the range into contiguous
   /// chunks across the pool; blocks until all chunks complete. Exceptions
-  /// from any chunk are rethrown (first one wins).
+  /// from any chunk are rethrown (first one wins). While waiting for helper
+  /// chunks the calling thread executes other queued tasks, so calls may
+  /// nest (a pool task may itself parallel_for on the same pool) without
+  /// deadlocking.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -56,11 +69,15 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// Pops and runs one queued task if any is ready; returns whether it ran.
+  /// Used by waiting threads to guarantee progress under nesting.
+  bool try_run_one();
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::queue<std::function<void()>> queue_ MC_GUARDED_BY(mutex_);
+  bool stop_ MC_GUARDED_BY(mutex_) = false;
+  std::condition_variable_any cv_;
 };
 
 }  // namespace minicost::util

@@ -5,6 +5,11 @@
 // and every result is byte-identical for every pool size.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <vector>
+
 #include "core/forecast_policy.hpp"
 #include "core/greedy.hpp"
 #include "core/minicost_system.hpp"
@@ -224,9 +229,78 @@ TEST(DeterminismTest, EvaluateIsPoolSizeIndependent) {
     EXPECT_EQ(outcome.total_cost, other.total_cost) << name;  // bitwise
     EXPECT_EQ(outcome.optimal_action_rate, other.optimal_action_rate) << name;
     EXPECT_EQ(outcome.result.plan, other.result.plan) << name;
-    EXPECT_EQ(outcome.result.report.grand_total().total(),
-              other.result.report.grand_total().total())
-        << name;
+    // Full cost tables, byte for byte: the Cs/Cr/Cw/Cc decomposition of the
+    // grand total, every per-file total, and every per-day breakdown. Any
+    // drift here means a parallel reduction picked up a pool-size-dependent
+    // FP order.
+    const sim::BillingReport& a = outcome.result.report;
+    const sim::BillingReport& b = other.result.report;
+    EXPECT_EQ(a.grand_total().storage, b.grand_total().storage) << name;
+    EXPECT_EQ(a.grand_total().read, b.grand_total().read) << name;
+    EXPECT_EQ(a.grand_total().write, b.grand_total().write) << name;
+    EXPECT_EQ(a.grand_total().change, b.grand_total().change) << name;
+    EXPECT_EQ(a.per_file_totals(), b.per_file_totals()) << name;
+    ASSERT_EQ(a.days(), b.days()) << name;
+    for (std::size_t d = 0; d < a.days(); ++d) {
+      EXPECT_EQ(a.day(d).storage, b.day(d).storage) << name << " day " << d;
+      EXPECT_EQ(a.day(d).read, b.day(d).read) << name << " day " << d;
+      EXPECT_EQ(a.day(d).write, b.day(d).write) << name << " day " << d;
+      EXPECT_EQ(a.day(d).change, b.day(d).change) << name << " day " << d;
+      EXPECT_EQ(a.tier_changes_on(d), b.tier_changes_on(d))
+          << name << " day " << d;
+    }
+  }
+}
+
+// act_batch must produce the same actions whether it runs serially, on an
+// idle pool, or on a pool that is simultaneously churning through unrelated
+// work (the production shape: evaluate() keeps the shared pool busy with
+// other policies while the RL policy plans its day). Chunk sharding is
+// fixed-size, so contention may only change timing, never decisions.
+TEST(DeterminismTest, ActBatchIsIdenticalUnderContendedPool) {
+  const pricing::PricingPolicy azure = pricing::PricingPolicy::azure_2020();
+  trace::SyntheticConfig tc = trace_config();
+  tc.file_count = 600;  // several 256-row chunks
+  const trace::RequestTrace tr = trace::generate_synthetic(tc);
+
+  rl::A3CConfig config;
+  config.filters = 8;
+  config.hidden = 8;
+  config.workers = 2;
+  rl::A3CAgent agent(config, 77);
+  rl::TrainOptions options;
+  options.episodes = 100;
+  options.report_every = 100;
+  agent.train(tr, azure, options);
+
+  const std::size_t day = 20;
+  const std::vector<pricing::StorageTier> tiers(
+      tr.file_count(), pricing::StorageTier::kHot);
+
+  for (const bool greedy : {true, false}) {
+    const std::vector<rl::Action> serial =
+        agent.act_batch(tr.files(), day, tiers, greedy, /*pool=*/nullptr);
+
+    util::ThreadPool pool(4);
+    // Contend: a deep queue of short foreign compute tasks keeps every
+    // worker busy while act_batch shards its chunks. Tasks are finite (the
+    // pool's waiting threads help drain the queue, so an unbounded task
+    // would be executed by the planner itself).
+    std::atomic<std::uint64_t> sink{0};
+    std::vector<std::future<void>> noise;
+    noise.reserve(400);
+    for (int i = 0; i < 400; ++i) {
+      noise.push_back(pool.submit([&sink, i] {
+        std::uint64_t acc = static_cast<std::uint64_t>(i);
+        for (int k = 0; k < 20000; ++k) acc = acc * 6364136223846793005ULL + 1;
+        sink.fetch_add(acc, std::memory_order_relaxed);
+      }));
+    }
+    const std::vector<rl::Action> contended =
+        agent.act_batch(tr.files(), day, tiers, greedy, &pool);
+    for (auto& f : noise) f.wait();
+
+    EXPECT_EQ(serial, contended) << "greedy=" << greedy;
   }
 }
 

@@ -1,0 +1,167 @@
+// Contention workloads for ThreadPool — the dedicated TSAN target: many
+// producers hammering submit(), tasks that submit more tasks, parallel_for
+// nested inside pool tasks (the evaluate() -> run_policy -> act_batch shape,
+// which must never deadlock), exception propagation under load, and
+// destruction while the queue is still busy.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace minicost::util {
+namespace {
+
+TEST(ThreadPoolStressTest, ManyProducersManyTasks) {
+  ThreadPool pool(4);
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 200;
+  std::atomic<int> executed{0};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &executed] {
+      std::vector<std::future<int>> futures;
+      futures.reserve(kTasksPerProducer);
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        futures.push_back(pool.submit([&executed, i] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          return i;
+        }));
+      }
+      for (int i = 0; i < kTasksPerProducer; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(executed.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolStressTest, TasksSubmittingTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> leaves{0};
+  std::vector<std::future<std::future<void>>> outer;
+  outer.reserve(100);
+  // Each outer task submits a child and hands back the child's future;
+  // the outer task itself never blocks on pool work (blocking on a future
+  // from inside a task is the documented deadlock; fan-out that must join
+  // uses parallel_for, which helps while waiting).
+  for (int i = 0; i < 100; ++i) {
+    outer.push_back(pool.submit([&pool, &leaves] {
+      return pool.submit(
+          [&leaves] { leaves.fetch_add(1, std::memory_order_relaxed); });
+    }));
+  }
+  for (auto& f : outer) f.get().wait();
+  EXPECT_EQ(leaves.load(), 100);
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForDoesNotDeadlock) {
+  // evaluate() runs policies via parallel_for; each policy's decide/act_batch
+  // then parallel_fors on the SAME pool from inside a pool task. With every
+  // worker occupied by an outer chunk, inner helper tasks can only run
+  // because waiting threads drain the queue. Saturate deliberately:
+  // more outer items than workers, two nesting levels below that.
+  ThreadPool pool(2);
+  std::atomic<int> inner_count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&](std::size_t) {
+      pool.parallel_for(0, 4, [&](std::size_t) {
+        inner_count.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  });
+  EXPECT_EQ(inner_count.load(), 8 * 8 * 4);
+}
+
+TEST(ThreadPoolStressTest, ParallelForFromManyThreadsAtOnce) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &total] {
+      for (int round = 0; round < 20; ++round) {
+        pool.parallel_for(0, 64, [&](std::size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), kCallers * 20 * 64);
+}
+
+TEST(ThreadPoolStressTest, ExceptionUnderLoadPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 200,
+                                   [round](std::size_t i) {
+                                     if (i == static_cast<std::size_t>(
+                                                  17 * (round + 1)))
+                                       throw std::runtime_error("chunk died");
+                                   }),
+                 std::runtime_error);
+    // The pool must still be fully usable after a throwing round.
+    std::atomic<int> ok{0};
+    pool.parallel_for(0, 50, [&](std::size_t) {
+      ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), 50);
+  }
+}
+
+TEST(ThreadPoolStressTest, NestedParallelForPropagatesInnerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 4,
+                                 [&](std::size_t outer) {
+                                   pool.parallel_for(0, 4, [&](std::size_t i) {
+                                     if (outer == 2 && i == 3)
+                                       throw std::invalid_argument("inner");
+                                   });
+                                 }),
+               std::invalid_argument);
+}
+
+TEST(ThreadPoolStressTest, ShutdownWhileBusyDrainsQueue) {
+  // The destructor must complete every already-queued task (futures held by
+  // callers must become ready), even when the queue is deep and workers are
+  // mid-task at shutdown. Slow-ish tasks keep the queue non-empty while the
+  // destructor runs.
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(64);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      futures.push_back(pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        done.fetch_add(1, std::memory_order_relaxed);
+      }));
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolStressTest, RapidConstructDestroyCycles) {
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 32, [&](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(count.load(), 32);
+  }
+}
+
+}  // namespace
+}  // namespace minicost::util

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Determinism-contract linter for the MiniCost tree.
+
+The repository's reproducibility rests on two contracts (DESIGN.md §7/§8):
+every stochastic component draws from an explicitly seeded util::Rng, and
+every parallel path is pool-size independent. Both are easy to break with a
+single innocent-looking line — `rand()`, a range-for over an unordered map
+in planning code, an OpenMP pragma — so this linter greps the source tree
+for the known contract hazards with precise allowlists.
+
+Checked rules (ids are what `allow(...)` suppressions name):
+
+  raw-rand            rand()/srand() — C RNG has hidden global state; all
+                      randomness must come from util::Rng.
+  random-device       std::random_device — nondeterministic entropy; only
+                      src/util/rng.* may touch an entropy source.
+  time-seed           time(nullptr)/time(NULL)/std::time(...) — wall-clock
+                      values feeding seeds or logic make runs
+                      irreproducible; timing belongs in util::Stopwatch.
+  unordered-iteration range-for over a std::unordered_map/unordered_set in
+                      src/sim/ or src/core/ — hash-iteration order is
+                      unspecified, so per-file planning/billing results
+                      would depend on hashing details of the build.
+  openmp-pragma       #pragma omp — threading must go through
+                      util::ThreadPool so the pool-size-independence
+                      contract (and its tests) cover it.
+  raw-new-delete      `new`/`delete` outside tests — ownership goes through
+                      containers and make_unique; a leak in a worker thread
+                      is a race report away from masking a real bug.
+  ffp-contract-guard  every src/nn kernel file using MINICOST_TARGET_CLONES
+                      must carry -ffp-contract=off in src/nn/CMakeLists.txt
+                      (a fused multiply-add would break the bit-identical
+                      batch == scalar guarantee).
+
+Suppression syntax — same line or the line directly above the finding:
+
+    // lint-contract: allow(<rule-id>) -- <reason>
+
+The reason is mandatory; a suppression without one is itself an error.
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_DIRS = ("src", "tools", "bench")
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx"}
+
+SUPPRESS_RE = re.compile(
+    r"lint-contract:\s*allow\((?P<rule>[A-Za-z0-9_-]+)\)"
+    r"(?:\s*(?:--|—|:)\s*(?P<reason>\S.*))?"
+)
+
+# Rules as (id, regex, message). Path-scoped rules carry a predicate.
+RAW_RAND_RE = re.compile(r"(?<![\w:])s?rand\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"std\s*::\s*random_device")
+TIME_SEED_RE = re.compile(r"(?<![\w:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+OPENMP_RE = re.compile(r"#\s*pragma\s+omp\b")
+NEW_RE = re.compile(r"(?<![\w:])new\s+[A-Za-z_(]")
+DELETE_RE = re.compile(r"(?<![\w:])delete(?:\s*\[\s*\])?\s+[A-Za-z_*(]")
+UNORDERED_DECL_RE = re.compile(
+    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)"
+)
+RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*?:\s*(?:\*?\s*)?(\w+(?:\.\w+\(\))?)\s*\)")
+RANGE_FOR_UNORDERED_EXPR_RE = re.compile(
+    r"for\s*\([^;)]*?:\s*[^)]*unordered_(?:map|set|multimap|multiset)"
+)
+TARGET_CLONES_MACRO = "MINICOST_TARGET_CLONES"
+
+
+def strip_comments_and_strings(lines: list[str]) -> list[str]:
+    """Blanks out comments and string/char literals, preserving line count.
+
+    The suppression scanner reads the raw lines; the rule regexes run on the
+    stripped ones so a mention of rand() in a comment is not a finding.
+    """
+    stripped: list[str] = []
+    in_block = False
+    for line in lines:
+        out = []
+        i = 0
+        n = len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                out.append(ch)
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        break
+                    i += 1
+                out.append(quote)
+                i += 1
+                continue
+            out.append(ch)
+            i += 1
+        stripped.append("".join(out))
+    return stripped
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def suppressions(raw_lines: list[str], path: Path) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Maps line numbers (1-based) to the rule ids suppressed there.
+
+    A suppression comment covers its own line and the line below it, so it
+    can sit inline or on its own line above the finding.
+    """
+    allowed: dict[int, set[str]] = {}
+    errors: list[Finding] = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            if "lint-contract" in line and "allow" in line:
+                errors.append(Finding(path, idx, "bad-suppression",
+                                      "malformed lint-contract suppression"))
+            continue
+        if not m.group("reason"):
+            errors.append(Finding(path, idx, "bad-suppression",
+                                  "suppression must give a reason: "
+                                  "// lint-contract: allow(rule) -- why"))
+            continue
+        rule = m.group("rule")
+        allowed.setdefault(idx, set()).add(rule)
+        allowed.setdefault(idx + 1, set()).add(rule)
+    return allowed, errors
+
+
+def lint_file(path: Path, rel: Path) -> list[Finding]:
+    try:
+        raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
+    except OSError as err:
+        return [Finding(rel, 0, "io-error", str(err))]
+    code = strip_comments_and_strings(raw)
+    allowed, findings = suppressions(raw, rel)
+
+    rel_posix = rel.as_posix()
+    in_rng = re.search(r"(^|/)src/util/rng\.(cpp|hpp)$", rel_posix) is not None
+    in_tests = rel_posix.startswith("tests/") or "/tests/" in rel_posix
+    in_sim_or_core = re.search(r"(^|/)src/(sim|core)/", rel_posix) is not None
+
+    # Names of locals/members declared with unordered types in this file;
+    # good enough for the planning code, which never aliases them through
+    # auto references before iterating.
+    unordered_names = set()
+    for line in code:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+
+    def check(idx: int, rule: str, message: str) -> None:
+        if rule not in allowed.get(idx, set()):
+            findings.append(Finding(rel, idx, rule, message))
+
+    for idx, line in enumerate(code, start=1):
+        if RAW_RAND_RE.search(line):
+            check(idx, "raw-rand",
+                  "rand()/srand() forbidden; draw from an explicitly seeded util::Rng")
+        if RANDOM_DEVICE_RE.search(line) and not in_rng:
+            check(idx, "random-device",
+                  "std::random_device outside src/util/rng.*; entropy breaks reproducibility")
+        if TIME_SEED_RE.search(line):
+            check(idx, "time-seed",
+                  "wall-clock time(...) as a value; seeds must be explicit, timing uses util::Stopwatch")
+        if OPENMP_RE.search(line):
+            check(idx, "openmp-pragma",
+                  "#pragma omp forbidden; parallelism goes through util::ThreadPool")
+        if not in_tests and (NEW_RE.search(line) or DELETE_RE.search(line)):
+            check(idx, "raw-new-delete",
+                  "raw new/delete outside tests; use containers or std::make_unique")
+        if in_sim_or_core:
+            hazard = RANGE_FOR_UNORDERED_EXPR_RE.search(line)
+            if not hazard:
+                m = RANGE_FOR_RE.search(line)
+                if m:
+                    target = m.group(1).split(".")[0]
+                    hazard = target in unordered_names
+            if hazard:
+                check(idx, "unordered-iteration",
+                      "range-for over an unordered container in planning/billing code; "
+                      "iteration order is unspecified and results become hash-dependent")
+    return findings
+
+
+def lint_ffp_contract(root: Path) -> list[Finding]:
+    """Kernel files using MINICOST_TARGET_CLONES need -ffp-contract=off."""
+    findings: list[Finding] = []
+    nn_dir = root / "src" / "nn"
+    cml = nn_dir / "CMakeLists.txt"
+    if not nn_dir.is_dir():
+        return findings
+    guarded: set[str] = set()
+    if cml.is_file():
+        text = cml.read_text(encoding="utf-8", errors="replace")
+        for m in re.finditer(
+                r"set_source_files_properties\s*\(([^)]*?)PROPERTIES[^)]*?"
+                r"ffp-contract=off[^)]*?\)", text, re.S):
+            guarded.update(m.group(1).split())
+    for src in sorted(nn_dir.glob("*.cpp")):
+        body = src.read_text(encoding="utf-8", errors="replace")
+        if TARGET_CLONES_MACRO in body and src.name not in guarded:
+            findings.append(Finding(
+                src.relative_to(root), 1, "ffp-contract-guard",
+                f"{src.name} uses {TARGET_CLONES_MACRO} but is not compiled "
+                "with -ffp-contract=off in src/nn/CMakeLists.txt; FMA fusion "
+                "would break batch==scalar bit-identity"))
+    return findings
+
+
+def run(root: Path, paths: list[Path] | None = None) -> list[Finding]:
+    findings: list[Finding] = []
+    if paths:
+        files = [p for p in paths if p.suffix in SOURCE_SUFFIXES]
+    else:
+        files = []
+        for top in SOURCE_DIRS:
+            base = root / top
+            if base.is_dir():
+                files.extend(p for p in sorted(base.rglob("*"))
+                             if p.suffix in SOURCE_SUFFIXES and p.is_file())
+    for path in files:
+        rel = path.relative_to(root) if path.is_absolute() else path
+        findings.extend(lint_file(root / rel, rel))
+    findings.extend(lint_ffp_contract(root))
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path.cwd(),
+                        help="repository root (default: cwd)")
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="specific files to lint (default: src/ tools/ bench/)")
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"lint_contract: no such root: {root}", file=sys.stderr)
+        return 2
+    findings = run(root, args.paths or None)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint_contract: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
