@@ -1,0 +1,160 @@
+// Trace I/O throughput: the CSV container vs the .mct out-of-core store,
+// and shard-streamed vs monolithic evaluation on top of each.
+//
+// Per size (10k and 100k files by default; MINICOST_SCALE > 100000 adds an
+// extra, e.g. MINICOST_SCALE=1000000 for the README's 1M-file run):
+//   * pack: streaming-generate the workload into a .mct container
+//   * csv_load: trace_io CSV parse (only measured up to 20k files — the
+//     text container is quadratically painful, which is rather the point)
+//   * mct_open_scan: mmap open + full checksum scan of every series byte
+//   * eval monolithic vs sharded: Greedy over the last 35 days, and a check
+//     that the two bills match bit for bit
+//
+// Output: one JSON object on stdout, mirrored to bench_out()/micro_trace_io.json.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/greedy.hpp"
+#include "core/shard_eval.hpp"
+#include "store/trace_reader.hpp"
+#include "store/trace_writer.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/trace_io.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace minicost;
+
+struct Row {
+  std::size_t files = 0;
+  double pack_seconds = 0.0;
+  double csv_save_seconds = -1.0;  ///< < 0: not measured at this size
+  double csv_load_seconds = -1.0;
+  double open_scan_seconds = 0.0;
+  double scan_gb = 0.0;
+  double eval_mono_seconds = 0.0;
+  double eval_shard_seconds = 0.0;
+  std::size_t shard_files = 0;
+  bool identical = false;
+};
+
+Row run_size(std::size_t files, std::size_t days,
+             const std::filesystem::path& dir) {
+  Row row;
+  row.files = files;
+  row.shard_files = 16384;
+
+  trace::SyntheticConfig config;
+  config.file_count = files;
+  config.days = days;
+  config.seed = util::bench_seed();
+  config.grouped_file_fraction = 0.0;  // streamable
+
+  const std::filesystem::path mct = dir / "micro_trace_io.mct";
+  {
+    util::Stopwatch watch;
+    store::TraceWriter writer(mct, days);
+    constexpr std::size_t kChunk = 16384;
+    for (std::size_t first = 0; first < files; first += kChunk) {
+      const std::size_t count = std::min(kChunk, files - first);
+      for (const trace::FileRecord& f :
+           trace::generate_synthetic_files(config, first, count))
+        writer.add_file(f.name, f.size_gb, f.reads, f.writes);
+    }
+    writer.finish();
+    row.pack_seconds = watch.seconds();
+  }
+
+  if (files <= 20'000) {
+    const std::filesystem::path csv = dir / "micro_trace_io.csv";
+    const trace::RequestTrace tr = store::TraceReader(mct).materialize();
+    util::Stopwatch save;
+    trace::save_trace(tr, csv);
+    row.csv_save_seconds = save.seconds();
+    util::Stopwatch load;
+    const trace::RequestTrace back = trace::load_trace(csv);
+    row.csv_load_seconds = load.seconds();
+    std::filesystem::remove(csv);
+  }
+
+  {
+    util::Stopwatch watch;
+    const store::TraceReader reader(mct);
+    reader.verify_checksums();  // pages in and checksums every series byte
+    row.open_scan_seconds = watch.seconds();
+    row.scan_gb = static_cast<double>(reader.total_bytes()) / 1e9;
+  }
+
+  const store::TraceReader reader(mct);
+  const pricing::PricingPolicy prices = benchx::standard_pricing();
+  const std::size_t start = days > 35 ? days - 35 : 1;
+  double mono_total = 0.0, shard_total = 0.0;
+  {
+    util::Stopwatch watch;
+    const trace::RequestTrace tr = reader.materialize();
+    core::GreedyPolicy policy;
+    core::PlanOptions options;
+    options.start_day = start;
+    options.initial_tiers = core::static_initial_tiers(tr, prices, start);
+    mono_total =
+        core::run_policy(tr, prices, policy, options).report.grand_total().total();
+    row.eval_mono_seconds = watch.seconds();
+  }
+  {
+    util::Stopwatch watch;
+    core::GreedyPolicy policy;
+    core::ShardEvalOptions options;
+    options.shard_files = row.shard_files;
+    options.start_day = start;
+    shard_total = core::run_policy_sharded(reader, prices, policy, options)
+                      .report.grand_total()
+                      .total();
+    row.eval_shard_seconds = watch.seconds();
+  }
+  row.identical = mono_total == shard_total;
+
+  std::filesystem::remove(mct);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t days = 62;
+  std::vector<std::size_t> sizes{10'000, 100'000};
+  const auto scale = static_cast<std::size_t>(util::bench_scale(0));
+  if (scale > sizes.back()) sizes.push_back(scale);  // e.g. the 1M run
+
+  const std::filesystem::path dir = benchx::bench_out();
+  std::ostringstream json;
+  json << "{\"bench\":\"micro_trace_io\",\"days\":" << days << ",\"results\":[";
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const Row row = run_size(sizes[i], days, dir);
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"files\":%zu,\"pack_seconds\":%.3f,\"csv_save_seconds\":%.3f,"
+        "\"csv_load_seconds\":%.3f,\"mct_open_scan_seconds\":%.3f,"
+        "\"mct_scan_gb_per_sec\":%.2f,\"eval_monolithic_seconds\":%.3f,"
+        "\"eval_sharded_seconds\":%.3f,\"shard_files\":%zu,"
+        "\"bills_identical\":%s}",
+        i == 0 ? "" : ",", row.files, row.pack_seconds, row.csv_save_seconds,
+        row.csv_load_seconds, row.open_scan_seconds,
+        row.scan_gb / row.open_scan_seconds, row.eval_mono_seconds,
+        row.eval_shard_seconds, row.shard_files,
+        row.identical ? "true" : "false");
+    json << buf;
+  }
+  json << "]}";
+
+  std::printf("%s\n", json.str().c_str());
+  std::ofstream(dir / "micro_trace_io.json") << json.str() << "\n";
+  return 0;
+}

@@ -3,11 +3,21 @@
 // assignment plan over a trace. Carries enough detail to regenerate every
 // figure (totals vs days, per-file costs for per-bucket breakdowns, the
 // Cs/Cc/Cr/Cw decomposition, tier-change counts).
+//
+// Accumulation is *order-independent*: per-day breakdowns live in exact
+// fixed-point accumulators (stats::ExactSum) and are rounded to doubles only
+// when read, and the grand total is the day-ordered fold of those rounded
+// per-day values. Two reports over the same multiset of charges — however
+// the charges were ordered, grouped, or split across shard reports merged
+// with merge()/merge_shard() — are therefore byte-identical (DESIGN.md §9).
+// Per-file totals stay plain doubles: a file's charges always arrive in day
+// order from exactly one simulator run, so their fold order is fixed.
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "stats/exact_sum.hpp"
 #include "trace/trace.hpp"
 
 namespace minicost::sim {
@@ -23,11 +33,11 @@ class BillingReport {
   /// Records a tier change event for statistics.
   void count_change(std::size_t day);
 
-  std::size_t days() const noexcept { return per_day_.size(); }
+  std::size_t days() const noexcept { return per_day_exact_.size(); }
   std::size_t file_count() const noexcept { return per_file_total_.size(); }
 
-  const CostBreakdown& grand_total() const noexcept { return grand_total_; }
-  const CostBreakdown& day(std::size_t d) const { return per_day_.at(d); }
+  const CostBreakdown& grand_total() const;
+  const CostBreakdown& day(std::size_t d) const;
   double file_total(trace::FileId f) const { return per_file_total_.at(f); }
   const std::vector<double>& per_file_totals() const noexcept {
     return per_file_total_;
@@ -40,16 +50,33 @@ class BillingReport {
   /// Cumulative total cost through day d inclusive (the Figure 7/13 series).
   double cumulative_through(std::size_t d) const;
 
-  /// Merges a report over the same shape (parallel accumulation). Throws
+  /// Merges a report over the same shape (parallel accumulation over the
+  /// same files). Exact, so any merge tree yields identical bytes. Throws
   /// std::invalid_argument on shape mismatch.
   void merge(const BillingReport& other);
 
+  /// Merges a report covering the contiguous file range
+  /// [file_offset, file_offset + other.file_count()) of this report's file
+  /// space — the shard-streamed evaluation path. Day counts must match and
+  /// the range must fit; throws std::invalid_argument otherwise.
+  void merge_shard(const BillingReport& other, std::size_t file_offset);
+
  private:
-  CostBreakdown grand_total_;
-  std::vector<CostBreakdown> per_day_;
+  struct ExactBreakdown {
+    stats::ExactSum storage, read, write, change;
+  };
+
+  void refresh() const;  ///< re-materializes rounded caches when stale
+
+  std::vector<ExactBreakdown> per_day_exact_;
   std::vector<double> per_file_total_;
   std::vector<std::uint64_t> per_day_changes_;
   std::uint64_t tier_changes_ = 0;
+
+  // Rounded views of the exact state, rebuilt lazily on read.
+  mutable std::vector<CostBreakdown> per_day_;
+  mutable CostBreakdown grand_total_;
+  mutable bool stale_ = false;
 };
 
 }  // namespace minicost::sim

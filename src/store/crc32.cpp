@@ -1,0 +1,35 @@
+#include "store/crc32.hpp"
+
+#include <array>
+
+namespace minicost::store {
+namespace {
+
+// Reflected CRC-32, polynomial 0xEDB88320 (IEEE 802.3): the variant zlib,
+// gzip, and PNG use, so `crc32 <(tail -c +4097 x.mct)`-style spot checks
+// against standard tools line up.
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1U) != 0 ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (std::size_t i = 0; i < len; ++i)
+    c = kTable[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+}  // namespace minicost::store

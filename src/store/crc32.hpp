@@ -1,0 +1,14 @@
+#pragma once
+// CRC32 (IEEE 802.3 / zlib polynomial) for the .mct section checksums.
+// Table-driven, incremental: feed sections in pieces by passing the previous
+// return value back in as `seed` (seed 0 == fresh checksum, zlib-compatible).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace minicost::store {
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t seed = 0) noexcept;
+
+}  // namespace minicost::store

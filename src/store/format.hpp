@@ -1,0 +1,95 @@
+#pragma once
+// The `.mct` on-disk trace container (MiniCost Trace, version 1): a
+// versioned, checksummed, *columnar* binary format sized for
+// Wikipedia-scale workloads (millions of files x a multi-month horizon),
+// where the CSV container of trace/trace_io.hpp stops being practical.
+//
+// Layout (all integers little-endian, offsets from the start of the file):
+//
+//   [header]      4096 bytes, struct Header below, zero-padded
+//   [frequency]   file-major series blocks: for file i, its reads series
+//                 then its writes series, each occupying `series_stride`
+//                 bytes (days * 8 rounded up to 64). Every series therefore
+//                 starts 64-byte aligned — the alignment the PR 1 SIMD batch
+//                 kernels load with — and maps directly as
+//                 std::span<const double> with zero copies.
+//   [file table]  file_count x FileEntry (name slice + size_gb)
+//   [name blob]   concatenated UTF-8 names, sliced by the file table
+//   [group section] co-request groups, 8-byte aligned records:
+//                     u32 member_count, u32 reserved(0),
+//                     u32 members[member_count], pad to 8,
+//                     f64 concurrent_reads[days]
+//
+// Integrity: each section carries a CRC32 in the header, and the header
+// itself is CRC'd over every byte that precedes its own checksum field.
+// Opening a file verifies the header and all *metadata* sections; the
+// frequency section's CRC — a full scan of what can be many GB — is checked
+// by TraceReader::verify_checksums() (`tracepack verify`), so a plain open
+// never pages in the bulk data. See DESIGN.md §9 for the full field table
+// and the versioning/compat rules.
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace minicost::store {
+
+inline constexpr char kMagic[8] = {'M', 'C', 'T', 'R', 'A', 'C', 'E', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Written as 0x01020304 by the native-endian writer; a reader seeing the
+/// byte-swapped value is on a foreign-endian host and must reject the file.
+inline constexpr std::uint32_t kEndianTag = 0x01020304;
+inline constexpr std::size_t kHeaderBytes = 4096;
+/// Series blocks are padded to this boundary (the SIMD kernel alignment).
+inline constexpr std::size_t kSeriesAlign = 64;
+/// Group records are padded so their f64 series stays naturally aligned.
+inline constexpr std::size_t kGroupAlign = 8;
+
+constexpr std::uint64_t round_up(std::uint64_t v, std::uint64_t a) noexcept {
+  return (v + a - 1) / a * a;
+}
+
+/// One row of the file table.
+struct FileEntry {
+  std::uint64_t name_offset = 0;  ///< into the name blob
+  std::uint32_t name_bytes = 0;
+  std::uint32_t reserved = 0;     ///< must be zero in version 1
+  double size_gb = 0.0;
+};
+static_assert(sizeof(FileEntry) == 24 && std::is_trivially_copyable_v<FileEntry>);
+
+/// The fixed header at offset 0. Fields through `crc_header` are meaningful;
+/// the remainder of the 4096-byte block is zero padding (reserved — a future
+/// version may claim it, which is why version 1 readers require it zeroed).
+struct Header {
+  char magic[8] = {};            ///< kMagic
+  std::uint32_t endian_tag = 0;  ///< kEndianTag
+  std::uint32_t version = 0;     ///< kFormatVersion
+  std::uint64_t days = 0;
+  std::uint64_t file_count = 0;
+  std::uint64_t group_count = 0;
+  std::uint64_t series_stride = 0;  ///< bytes per series block
+  std::uint64_t freq_offset = 0;
+  std::uint64_t freq_bytes = 0;
+  std::uint64_t file_table_offset = 0;
+  std::uint64_t file_table_bytes = 0;
+  std::uint64_t names_offset = 0;
+  std::uint64_t names_bytes = 0;
+  std::uint64_t groups_offset = 0;
+  std::uint64_t groups_bytes = 0;
+  std::uint64_t total_bytes = 0;  ///< whole-file size; truncation detector
+  std::uint32_t crc_freq = 0;
+  std::uint32_t crc_file_table = 0;
+  std::uint32_t crc_names = 0;
+  std::uint32_t crc_groups = 0;
+  std::uint32_t crc_header = 0;  ///< CRC32 of the bytes preceding this field
+};
+static_assert(sizeof(Header) <= kHeaderBytes &&
+              std::is_trivially_copyable_v<Header>);
+
+/// Bytes one (reads or writes) series block occupies on disk.
+constexpr std::uint64_t series_stride_bytes(std::uint64_t days) noexcept {
+  return round_up(days * sizeof(double), kSeriesAlign);
+}
+
+}  // namespace minicost::store

@@ -1,0 +1,292 @@
+#include "store/trace_reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "store/crc32.hpp"
+
+namespace minicost::store {
+namespace {
+
+[[noreturn]] void fail(const std::filesystem::path& path,
+                       const std::string& what) {
+  throw std::runtime_error(path.string() + ": " + what);
+}
+
+/// Upper bound on the horizon a v1 container may declare. Generous (two
+/// million years of days) but finite, so series_stride arithmetic on a
+/// corrupt header cannot overflow before the consistency checks run.
+constexpr std::uint64_t kMaxDays = 1ULL << 30;
+
+}  // namespace
+
+TraceReader::TraceReader(const std::filesystem::path& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    fail(path, "cannot stat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    fail(path, "truncated: smaller than the fixed header (" +
+                   std::to_string(size) + " bytes)");
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapping == MAP_FAILED) fail(path, "mmap failed");
+  base_ = static_cast<const std::byte*>(mapping);
+  mapped_bytes_ = size;
+  try {
+    validate(path);
+  } catch (...) {
+    ::munmap(mapping, size);
+    base_ = nullptr;
+    mapped_bytes_ = 0;
+    throw;
+  }
+}
+
+void TraceReader::validate(const std::filesystem::path& path) {
+  std::memcpy(&header_, base_, sizeof header_);
+  if (std::memcmp(header_.magic, kMagic, sizeof kMagic) != 0)
+    fail(path, "not a .mct trace (bad magic)");
+  if (header_.endian_tag != kEndianTag)
+    fail(path, "endianness mismatch (file written on a foreign-endian host)");
+  if (header_.version != kFormatVersion)
+    fail(path, "unsupported format version " +
+                   std::to_string(header_.version) + " (this build reads " +
+                   std::to_string(kFormatVersion) + ")");
+  if (crc32(&header_, offsetof(Header, crc_header)) != header_.crc_header)
+    fail(path, "header checksum mismatch (corrupt header)");
+  if (header_.days == 0 || header_.days > kMaxDays)
+    fail(path, "implausible day count " + std::to_string(header_.days));
+  if (header_.total_bytes != mapped_bytes_)
+    fail(path, "size mismatch: header says " +
+                   std::to_string(header_.total_bytes) + " bytes, file has " +
+                   std::to_string(mapped_bytes_) +
+                   " (truncated or trailing garbage)");
+
+  const std::uint64_t stride = series_stride_bytes(header_.days);
+  if (header_.series_stride != stride)
+    fail(path, "series stride " + std::to_string(header_.series_stride) +
+                   " does not match the day count");
+  if (header_.file_count > (mapped_bytes_ - kHeaderBytes) / (2 * stride))
+    fail(path, "file count exceeds what the container could hold");
+  if (header_.freq_offset != kHeaderBytes ||
+      header_.freq_bytes != header_.file_count * 2 * stride ||
+      header_.file_table_offset != header_.freq_offset + header_.freq_bytes ||
+      header_.file_table_bytes != header_.file_count * sizeof(FileEntry) ||
+      header_.names_offset !=
+          header_.file_table_offset + header_.file_table_bytes ||
+      header_.groups_offset !=
+          round_up(header_.names_offset + header_.names_bytes, kGroupAlign) ||
+      header_.total_bytes != header_.groups_offset + header_.groups_bytes)
+    fail(path, "inconsistent section layout in header");
+
+  // Metadata sections: checksum, then structure. The frequency section's
+  // CRC is checked only by verify_checksums() — see the file comment.
+  if (crc32(at(header_.file_table_offset), header_.file_table_bytes) !=
+      header_.crc_file_table)
+    fail(path, "file table checksum mismatch");
+  if (crc32(at(header_.names_offset), header_.names_bytes) !=
+      header_.crc_names)
+    fail(path, "name blob checksum mismatch");
+  if (crc32(at(header_.groups_offset), header_.groups_bytes) !=
+      header_.crc_groups)
+    fail(path, "group section checksum mismatch");
+
+  file_table_ = reinterpret_cast<const FileEntry*>(at(header_.file_table_offset));
+  for (std::uint64_t i = 0; i < header_.file_count; ++i) {
+    const FileEntry& e = file_table_[i];
+    if (e.name_offset + e.name_bytes > header_.names_bytes || e.reserved != 0)
+      fail(path, "file table entry " + std::to_string(i) + " is malformed");
+  }
+
+  group_offsets_.reserve(header_.group_count);
+  std::uint64_t pos = 0;
+  for (std::uint64_t g = 0; g < header_.group_count; ++g) {
+    group_offsets_.push_back(pos);
+    if (pos + 2 * sizeof(std::uint32_t) > header_.groups_bytes)
+      fail(path, "group section truncated at group " + std::to_string(g));
+    std::uint32_t count = 0;
+    std::memcpy(&count, at(header_.groups_offset + pos), sizeof count);
+    if (count < 2)
+      fail(path, "group " + std::to_string(g) + " has fewer than 2 members");
+    pos += 2 * sizeof(std::uint32_t);
+    if (pos + count * sizeof(trace::FileId) > header_.groups_bytes)
+      fail(path, "group section truncated at group " + std::to_string(g));
+    const auto* members =
+        reinterpret_cast<const trace::FileId*>(at(header_.groups_offset + pos));
+    for (std::uint32_t m = 0; m < count; ++m)
+      if (members[m] >= header_.file_count)
+        fail(path, "group " + std::to_string(g) + " references file id " +
+                       std::to_string(members[m]) + " beyond the file count");
+    pos = round_up(pos + count * sizeof(trace::FileId), kGroupAlign);
+    if (pos + header_.days * sizeof(double) > header_.groups_bytes)
+      fail(path, "group section truncated at group " + std::to_string(g));
+    pos += header_.days * sizeof(double);
+  }
+  if (pos != header_.groups_bytes)
+    fail(path, "group section has " +
+                   std::to_string(header_.groups_bytes - pos) +
+                   " trailing bytes");
+}
+
+TraceReader::~TraceReader() {
+  if (base_ != nullptr)
+    ::munmap(const_cast<std::byte*>(base_), mapped_bytes_);
+}
+
+TraceReader::TraceReader(TraceReader&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      header_(other.header_),
+      file_table_(std::exchange(other.file_table_, nullptr)),
+      group_offsets_(std::move(other.group_offsets_)) {}
+
+TraceReader& TraceReader::operator=(TraceReader&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr)
+      ::munmap(const_cast<std::byte*>(base_), mapped_bytes_);
+    base_ = std::exchange(other.base_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    header_ = other.header_;
+    file_table_ = std::exchange(other.file_table_, nullptr);
+    group_offsets_ = std::move(other.group_offsets_);
+  }
+  return *this;
+}
+
+std::string_view TraceReader::name(std::size_t file) const {
+  if (file >= header_.file_count)
+    throw std::out_of_range("TraceReader::name: file index out of range");
+  const FileEntry& e = file_table_[file];
+  return {reinterpret_cast<const char*>(at(header_.names_offset + e.name_offset)),
+          e.name_bytes};
+}
+
+double TraceReader::size_gb(std::size_t file) const {
+  if (file >= header_.file_count)
+    throw std::out_of_range("TraceReader::size_gb: file index out of range");
+  return file_table_[file].size_gb;
+}
+
+std::span<const double> TraceReader::reads(std::size_t file) const {
+  if (file >= header_.file_count)
+    throw std::out_of_range("TraceReader::reads: file index out of range");
+  const auto* series = reinterpret_cast<const double*>(
+      at(header_.freq_offset + file * 2 * header_.series_stride));
+  return {series, header_.days};
+}
+
+std::span<const double> TraceReader::writes(std::size_t file) const {
+  if (file >= header_.file_count)
+    throw std::out_of_range("TraceReader::writes: file index out of range");
+  const auto* series = reinterpret_cast<const double*>(
+      at(header_.freq_offset + file * 2 * header_.series_stride +
+         header_.series_stride));
+  return {series, header_.days};
+}
+
+TraceReader::GroupView TraceReader::group(std::size_t index) const {
+  if (index >= group_offsets_.size())
+    throw std::out_of_range("TraceReader::group: group index out of range");
+  std::uint64_t pos = header_.groups_offset + group_offsets_[index];
+  std::uint32_t count = 0;
+  std::memcpy(&count, at(pos), sizeof count);
+  pos += 2 * sizeof(std::uint32_t);
+  const auto* members = reinterpret_cast<const trace::FileId*>(at(pos));
+  pos = round_up(pos + count * sizeof(trace::FileId), kGroupAlign);
+  const auto* series = reinterpret_cast<const double*>(at(pos));
+  return {{members, count}, {series, header_.days}};
+}
+
+void TraceReader::verify_checksums() const {
+  const auto check = [&](std::uint64_t offset, std::uint64_t bytes,
+                         std::uint32_t expected, const char* section) {
+    if (crc32(at(offset), bytes) != expected)
+      throw std::runtime_error(std::string(section) + " checksum mismatch");
+  };
+  if (crc32(&header_, offsetof(Header, crc_header)) != header_.crc_header)
+    throw std::runtime_error("header checksum mismatch");
+  check(header_.freq_offset, header_.freq_bytes, header_.crc_freq,
+        "frequency section");
+  check(header_.file_table_offset, header_.file_table_bytes,
+        header_.crc_file_table, "file table");
+  check(header_.names_offset, header_.names_bytes, header_.crc_names,
+        "name blob");
+  check(header_.groups_offset, header_.groups_bytes, header_.crc_groups,
+        "group section");
+}
+
+trace::RequestTrace TraceReader::materialize_shard(std::size_t first,
+                                                   std::size_t count) const {
+  if (first + count > header_.file_count)
+    throw std::out_of_range("TraceReader::materialize_shard: bad file range");
+  std::vector<trace::FileRecord> files;
+  files.reserve(count);
+  for (std::size_t i = first; i < first + count; ++i) {
+    trace::FileRecord f;
+    f.name = std::string(name(i));
+    f.size_gb = size_gb(i);
+    const auto r = reads(i);
+    const auto w = writes(i);
+    f.reads.assign(r.begin(), r.end());
+    f.writes.assign(w.begin(), w.end());
+    files.push_back(std::move(f));
+  }
+  std::vector<trace::CoRequestGroup> groups;
+  for (std::size_t g = 0; g < group_offsets_.size(); ++g) {
+    const GroupView view = group(g);
+    bool inside = true;
+    for (const trace::FileId m : view.members)
+      if (m < first || m >= first + count) {
+        inside = false;
+        break;
+      }
+    if (!inside) continue;
+    trace::CoRequestGroup copy;
+    copy.members.reserve(view.members.size());
+    for (const trace::FileId m : view.members)
+      copy.members.push_back(static_cast<trace::FileId>(m - first));
+    copy.concurrent_reads.assign(view.concurrent_reads.begin(),
+                                 view.concurrent_reads.end());
+    groups.push_back(std::move(copy));
+  }
+  return trace::RequestTrace(header_.days, std::move(files),
+                             std::move(groups));
+}
+
+trace::RequestTrace TraceReader::materialize() const {
+  return materialize_shard(0, header_.file_count);
+}
+
+void TraceReader::release_frequency_range(std::size_t first,
+                                          std::size_t count) const {
+  if (first + count > header_.file_count)
+    throw std::out_of_range(
+        "TraceReader::release_frequency_range: bad file range");
+  const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uint64_t begin =
+      round_up(header_.freq_offset + first * 2 * header_.series_stride, page);
+  const std::uint64_t end = (header_.freq_offset +
+                             (first + count) * 2 * header_.series_stride) /
+                            page * page;
+  if (end <= begin) return;
+  // Advisory only: a failure (e.g. an unusual filesystem) costs memory
+  // headroom, not correctness, so it is deliberately ignored.
+  ::madvise(const_cast<std::byte*>(base_) + begin,
+            static_cast<std::size_t>(end - begin), MADV_DONTNEED);
+}
+
+}  // namespace minicost::store

@@ -1,0 +1,98 @@
+#pragma once
+// Zero-copy mmap reader for the .mct columnar trace container (format.hpp).
+//
+// open() maps the file read-only and validates the header, section bounds,
+// and all *metadata* checksums (file table, names, groups) — rejecting
+// truncated files, foreign magic/endianness, versions from the future, and
+// bit flips with a message naming what failed. The multi-GB frequency
+// section is deliberately NOT paged in by open(); verify_checksums() (the
+// `tracepack verify` path) does that full scan on demand.
+//
+// Per-file series come back as std::span<const double> straight into the
+// mapping — 64-byte aligned, so the PR 1 SIMD kernels can consume them in
+// place — and materialize_shard() builds an ordinary RequestTrace for any
+// contiguous file range, which is what the shard-streamed evaluation driver
+// (core/shard_eval.hpp) iterates over with O(shard) rather than O(trace)
+// resident memory.
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "store/format.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::store {
+
+class TraceReader {
+ public:
+  /// Maps `path` and validates it (see file comment). Throws
+  /// std::runtime_error with a "path: what failed" message on any problem.
+  explicit TraceReader(const std::filesystem::path& path);
+  ~TraceReader();
+
+  TraceReader(TraceReader&& other) noexcept;
+  TraceReader& operator=(TraceReader&& other) noexcept;
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  std::size_t days() const noexcept { return header_.days; }
+  std::size_t file_count() const noexcept { return header_.file_count; }
+  std::size_t group_count() const noexcept { return header_.group_count; }
+  /// Whole-container size on disk, in bytes.
+  std::uint64_t total_bytes() const noexcept { return header_.total_bytes; }
+  const Header& header() const noexcept { return header_; }
+
+  std::string_view name(std::size_t file) const;
+  double size_gb(std::size_t file) const;
+  /// The file's daily read/write series, mapped in place (64-byte aligned).
+  std::span<const double> reads(std::size_t file) const;
+  std::span<const double> writes(std::size_t file) const;
+
+  struct GroupView {
+    std::span<const trace::FileId> members;
+    std::span<const double> concurrent_reads;
+  };
+  GroupView group(std::size_t index) const;
+
+  /// Full-file integrity check including the frequency section (pages in
+  /// the whole mapping). Throws std::runtime_error on the first mismatch.
+  void verify_checksums() const;
+
+  /// Copies files [first, first + count) into an ordinary RequestTrace.
+  /// Co-request groups whose members all fall inside the range are included
+  /// with members remapped to shard-local ids; groups straddling the range
+  /// boundary are dropped (the shard evaluation path is defined for
+  /// per-file policies, DESIGN.md §9). Throws std::out_of_range on a bad
+  /// range.
+  trace::RequestTrace materialize_shard(std::size_t first,
+                                        std::size_t count) const;
+
+  /// The whole trace as a RequestTrace (== materialize_shard(0, all)).
+  trace::RequestTrace materialize() const;
+
+  /// Advises the kernel to drop the resident frequency pages of files
+  /// [first, first + count) (rounded inward to page boundaries). The data
+  /// stays valid — later accesses fault it back in — but the process RSS
+  /// stops accumulating mapped trace pages, which is what keeps a
+  /// shard-streamed scan's footprint bounded by the shard, not the trace.
+  void release_frequency_range(std::size_t first, std::size_t count) const;
+
+ private:
+  const std::byte* at(std::uint64_t offset) const noexcept {
+    return base_ + offset;
+  }
+  void validate(const std::filesystem::path& path);
+
+  const std::byte* base_ = nullptr;
+  std::size_t mapped_bytes_ = 0;
+  Header header_{};
+  const FileEntry* file_table_ = nullptr;
+  /// Offset of each group record inside the group section (built on open;
+  /// group records are variable-length so random access needs an index).
+  std::vector<std::uint64_t> group_offsets_;
+};
+
+}  // namespace minicost::store

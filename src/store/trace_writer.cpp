@@ -1,0 +1,169 @@
+#include "store/trace_writer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "store/crc32.hpp"
+
+namespace minicost::store {
+namespace {
+
+void append_bytes(std::vector<std::byte>& buffer, const void* data,
+                  std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buffer.insert(buffer.end(), p, p + len);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::filesystem::path& path, std::size_t days)
+    : path_(path),
+      out_(path, std::ios::binary | std::ios::trunc),
+      days_(days),
+      stride_(series_stride_bytes(days)) {
+  if (days_ == 0)
+    throw std::runtime_error("TraceWriter: trace must span at least one day");
+  if (!out_)
+    throw std::runtime_error("TraceWriter: cannot create " + path.string());
+  // Reserve the header block; it is rewritten with real contents (and the
+  // checksums that only finish() can know) at the end.
+  const std::vector<char> zeros(kHeaderBytes, 0);
+  out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  pad_.assign(kSeriesAlign, std::byte{0});
+}
+
+TraceWriter::~TraceWriter() = default;
+
+void TraceWriter::write_series(std::span<const double> series) {
+  out_.write(reinterpret_cast<const char*>(series.data()),
+             static_cast<std::streamsize>(series.size_bytes()));
+  crc_freq_ = crc32(series.data(), series.size_bytes(), crc_freq_);
+  const std::size_t padding = static_cast<std::size_t>(stride_) - series.size_bytes();
+  if (padding > 0) {
+    out_.write(reinterpret_cast<const char*>(pad_.data()),
+               static_cast<std::streamsize>(padding));
+    crc_freq_ = crc32(pad_.data(), padding, crc_freq_);
+  }
+}
+
+void TraceWriter::add_file(std::string_view name, double size_gb,
+                           std::span<const double> reads,
+                           std::span<const double> writes) {
+  if (finished_)
+    throw std::runtime_error("TraceWriter::add_file: already finished");
+  if (reads.size() != days_ || writes.size() != days_)
+    throw std::invalid_argument(
+        "TraceWriter::add_file: series length != days");
+  FileEntry entry;
+  entry.name_offset = names_.size();
+  entry.name_bytes = static_cast<std::uint32_t>(name.size());
+  entry.size_gb = size_gb;
+  names_.append(name);
+  entries_.push_back(entry);
+  write_series(reads);
+  write_series(writes);
+  if (!out_)
+    throw std::runtime_error("TraceWriter::add_file: write failed on " +
+                             path_.string());
+}
+
+void TraceWriter::add_group(std::span<const trace::FileId> members,
+                            std::span<const double> concurrent_reads) {
+  if (finished_)
+    throw std::runtime_error("TraceWriter::add_group: already finished");
+  if (members.size() < 2)
+    throw std::invalid_argument("TraceWriter::add_group: needs >= 2 members");
+  if (concurrent_reads.size() != days_)
+    throw std::invalid_argument(
+        "TraceWriter::add_group: series length != days");
+  const std::uint32_t count = static_cast<std::uint32_t>(members.size());
+  const std::uint32_t reserved = 0;
+  append_bytes(groups_, &count, sizeof count);
+  append_bytes(groups_, &reserved, sizeof reserved);
+  append_bytes(groups_, members.data(), members.size_bytes());
+  while (groups_.size() % kGroupAlign != 0) groups_.push_back(std::byte{0});
+  append_bytes(groups_, concurrent_reads.data(),
+               concurrent_reads.size_bytes());
+  ++group_count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  // Group member ids can only be validated once the file count is final.
+  {
+    std::size_t pos = 0;
+    for (std::uint64_t g = 0; g < group_count_; ++g) {
+      std::uint32_t count = 0;
+      std::memcpy(&count, groups_.data() + pos, sizeof count);
+      pos += 2 * sizeof(std::uint32_t);
+      for (std::uint32_t m = 0; m < count; ++m) {
+        trace::FileId id = 0;
+        std::memcpy(&id, groups_.data() + pos, sizeof id);
+        if (id >= entries_.size())
+          throw std::runtime_error(
+              "TraceWriter::finish: group member id " + std::to_string(id) +
+              " out of range (only " + std::to_string(entries_.size()) +
+              " files were added)");
+        pos += sizeof id;
+      }
+      pos = static_cast<std::size_t>(round_up(pos, kGroupAlign));
+      pos += days_ * sizeof(double);
+    }
+  }
+
+  Header header;
+  std::memcpy(header.magic, kMagic, sizeof kMagic);
+  header.endian_tag = kEndianTag;
+  header.version = kFormatVersion;
+  header.days = days_;
+  header.file_count = entries_.size();
+  header.group_count = group_count_;
+  header.series_stride = stride_;
+  header.freq_offset = kHeaderBytes;
+  header.freq_bytes = entries_.size() * 2 * stride_;
+  header.file_table_offset = header.freq_offset + header.freq_bytes;
+  header.file_table_bytes = entries_.size() * sizeof(FileEntry);
+  header.names_offset = header.file_table_offset + header.file_table_bytes;
+  header.names_bytes = names_.size();
+  header.groups_offset =
+      round_up(header.names_offset + header.names_bytes, kGroupAlign);
+  header.groups_bytes = groups_.size();
+  header.total_bytes = header.groups_offset + header.groups_bytes;
+  header.crc_freq = crc_freq_;
+  header.crc_file_table =
+      crc32(entries_.data(), entries_.size() * sizeof(FileEntry));
+  header.crc_names = crc32(names_.data(), names_.size());
+  header.crc_groups = crc32(groups_.data(), groups_.size());
+
+  out_.write(reinterpret_cast<const char*>(entries_.data()),
+             static_cast<std::streamsize>(header.file_table_bytes));
+  out_.write(names_.data(), static_cast<std::streamsize>(names_.size()));
+  const std::uint64_t names_end = header.names_offset + header.names_bytes;
+  for (std::uint64_t i = names_end; i < header.groups_offset; ++i)
+    out_.put('\0');
+  out_.write(reinterpret_cast<const char*>(groups_.data()),
+             static_cast<std::streamsize>(groups_.size()));
+
+  header.crc_header = crc32(&header, offsetof(Header, crc_header));
+  out_.seekp(0);
+  out_.write(reinterpret_cast<const char*>(&header),
+             static_cast<std::streamsize>(sizeof header));
+  out_.flush();
+  if (!out_)
+    throw std::runtime_error("TraceWriter::finish: write failed on " +
+                             path_.string());
+  out_.close();
+  finished_ = true;
+}
+
+void pack_trace(const trace::RequestTrace& trace,
+                const std::filesystem::path& path) {
+  TraceWriter writer(path, trace.days());
+  for (const trace::FileRecord& f : trace.files())
+    writer.add_file(f.name, f.size_gb, f.reads, f.writes);
+  for (const trace::CoRequestGroup& g : trace.groups())
+    writer.add_group(g.members, g.concurrent_reads);
+  writer.finish();
+}
+
+}  // namespace minicost::store

@@ -1,0 +1,84 @@
+#pragma once
+// Streaming writer for the .mct columnar trace container (format.hpp).
+//
+// Files are streamed one at a time — the frequency blocks go straight to
+// disk while only the (small) file table, name blob, and group records are
+// buffered — so a million-file trace packs with O(metadata) memory, not
+// O(trace). Feed it from the synthetic generator
+// (trace::generate_synthetic_files chunk by chunk), from a pagecounts
+// aggregation, or from an existing in-RAM RequestTrace via pack_trace().
+//
+// Usage:
+//   TraceWriter w(path, days);
+//   for each file:  w.add_file(name, size_gb, reads, writes);
+//   for each group: w.add_group(members, concurrent_reads);
+//   w.finish();   // writes metadata sections + checksummed header
+//
+// finish() must be called for the file to be valid; a writer destroyed
+// without it leaves a file that TraceReader::open rejects (zero header) —
+// a crash can't masquerade as a complete trace.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "store/format.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::store {
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and reserves the header block. Throws
+  /// std::runtime_error if the file cannot be created or days == 0.
+  TraceWriter(const std::filesystem::path& path, std::size_t days);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one file's series (each exactly `days` long — throws
+  /// std::invalid_argument otherwise) and records its table entry.
+  void add_file(std::string_view name, double size_gb,
+                std::span<const double> reads, std::span<const double> writes);
+
+  /// Buffers one co-request group (members index files by their add_file
+  /// order; series must be `days` long). Validated against the final file
+  /// count in finish().
+  void add_group(std::span<const trace::FileId> members,
+                 std::span<const double> concurrent_reads);
+
+  /// Writes the file table, name blob, group section, and the checksummed
+  /// header, then closes. Throws std::runtime_error on I/O failure or if a
+  /// buffered group references a file id that was never added.
+  void finish();
+
+  std::size_t days() const noexcept { return days_; }
+  std::size_t file_count() const noexcept { return entries_.size(); }
+  bool finished() const noexcept { return finished_; }
+
+ private:
+  void write_series(std::span<const double> series);
+
+  std::filesystem::path path_;
+  std::ofstream out_;
+  std::size_t days_;
+  std::uint64_t stride_;
+  std::vector<FileEntry> entries_;
+  std::string names_;
+  std::vector<std::byte> groups_;  ///< encoded group records
+  std::uint64_t group_count_ = 0;
+  std::uint32_t crc_freq_ = 0;
+  std::vector<std::byte> pad_;  ///< reusable zero padding
+  bool finished_ = false;
+};
+
+/// Packs an in-RAM trace into a .mct file (convenience over TraceWriter).
+void pack_trace(const trace::RequestTrace& trace,
+                const std::filesystem::path& path);
+
+}  // namespace minicost::store

@@ -84,6 +84,67 @@ std::vector<double> synthesize_reads(std::size_t days, double mean_rate,
   return reads;
 }
 
+/// Shared validation for the full and chunked generators; returns the
+/// resolved bucket shares.
+std::vector<double> validated_shares(const SyntheticConfig& config) {
+  if (config.file_count == 0)
+    throw std::invalid_argument("generate_synthetic: file_count must be > 0");
+  if (config.days < 2)
+    throw std::invalid_argument("generate_synthetic: need at least 2 days");
+  std::vector<double> shares = config.bucket_shares.empty()
+                                   ? stats::paper_fig2_shares()
+                                   : config.bucket_shares;
+  if (shares.size() != variability_bucket_ranges().size())
+    throw std::invalid_argument("generate_synthetic: need one share per bucket");
+  if (config.bucket_popularity_boost.size() != shares.size())
+    throw std::invalid_argument("generate_synthetic: need one boost per bucket");
+  if (config.group_size_min < 2 || config.group_size_max < config.group_size_min)
+    throw std::invalid_argument("generate_synthetic: bad group size range");
+  return shares;
+}
+
+/// Synthesizes file i from its forked stream; identical output whichever
+/// chunk or thread asks for it.
+FileRecord make_file(const SyntheticConfig& config,
+                     const std::vector<double>& shares,
+                     const std::vector<BucketRange>& ranges, util::Rng& root,
+                     std::size_t i) {
+  util::Rng rng = root.fork(i);
+  FileRecord f;
+  f.name = "article_" + std::to_string(i);
+
+  // Popularity: heavy-tailed, i.i.d. across files (see header).
+  double mean_rate =
+      stats::bounded_pareto(rng, config.popularity_alpha,
+                            config.floor_daily_reads, config.peak_daily_reads);
+
+  // Variability bucket and target CV.
+  const std::size_t bucket = rng.weighted_index(shares);
+  const BucketRange range = ranges[bucket];
+  const double cv = rng.uniform(range.lo, range.hi);
+  mean_rate *= config.bucket_popularity_boost[bucket];
+
+  f.reads = synthesize_reads(config.days, mean_rate, cv,
+                             config.spike_days_mean,
+                             config.spike_rate_per_horizon, rng);
+
+  // Writes: proportional to reads plus a small base update rate.
+  f.writes.resize(config.days);
+  for (std::size_t t = 0; t < config.days; ++t) {
+    const double jitter = std::max(0.0, 1.0 + rng.normal(0.0, 0.1));
+    f.writes[t] = std::max(
+        0.0, config.write_read_ratio * f.reads[t] +
+                 config.base_write_rate * jitter);
+  }
+
+  // Size: Poisson in MB with mean 100 (paper Sec. 3.1), constant over the
+  // horizon.
+  const double size_mb = std::max(
+      config.min_size_mb, static_cast<double>(rng.poisson(config.mean_size_mb)));
+  f.size_gb = size_mb / 1024.0;
+  return f;
+}
+
 }  // namespace
 
 std::vector<BucketRange> variability_bucket_ranges() {
@@ -93,61 +154,31 @@ std::vector<BucketRange> variability_bucket_ranges() {
   return {{0.02, 0.10}, {0.10, 0.30}, {0.30, 0.50}, {0.50, 0.80}, {0.90, 3.00}};
 }
 
-RequestTrace generate_synthetic(const SyntheticConfig& config) {
-  if (config.file_count == 0)
-    throw std::invalid_argument("generate_synthetic: file_count must be > 0");
-  if (config.days < 2)
-    throw std::invalid_argument("generate_synthetic: need at least 2 days");
-  std::vector<double> shares = config.bucket_shares.empty()
-                                   ? stats::paper_fig2_shares()
-                                   : config.bucket_shares;
+std::vector<FileRecord> generate_synthetic_files(const SyntheticConfig& config,
+                                                 std::size_t first,
+                                                 std::size_t count) {
+  const std::vector<double> shares = validated_shares(config);
   const auto ranges = variability_bucket_ranges();
-  if (shares.size() != ranges.size())
-    throw std::invalid_argument("generate_synthetic: need one share per bucket");
-  if (config.bucket_popularity_boost.size() != ranges.size())
-    throw std::invalid_argument("generate_synthetic: need one boost per bucket");
-  if (config.group_size_min < 2 || config.group_size_max < config.group_size_min)
-    throw std::invalid_argument("generate_synthetic: bad group size range");
+  if (first + count > config.file_count)
+    throw std::out_of_range(
+        "generate_synthetic_files: range exceeds config.file_count");
+  util::Rng root(config.seed);
+  std::vector<FileRecord> files;
+  files.reserve(count);
+  for (std::size_t i = first; i < first + count; ++i)
+    files.push_back(make_file(config, shares, ranges, root, i));
+  return files;
+}
+
+RequestTrace generate_synthetic(const SyntheticConfig& config) {
+  const std::vector<double> shares = validated_shares(config);
+  const auto ranges = variability_bucket_ranges();
 
   util::Rng root(config.seed);
-  std::vector<FileRecord> files(config.file_count);
-
-  for (std::size_t i = 0; i < config.file_count; ++i) {
-    util::Rng rng = root.fork(i);  // per-file stream: file i is identical
-                                   // regardless of generation order/threading
-    FileRecord& f = files[i];
-    f.name = "article_" + std::to_string(i);
-
-    // Popularity: heavy-tailed, i.i.d. across files (see header).
-    double mean_rate =
-        stats::bounded_pareto(rng, config.popularity_alpha,
-                              config.floor_daily_reads, config.peak_daily_reads);
-
-    // Variability bucket and target CV.
-    const std::size_t bucket = rng.weighted_index(shares);
-    const BucketRange range = ranges[bucket];
-    const double cv = rng.uniform(range.lo, range.hi);
-    mean_rate *= config.bucket_popularity_boost[bucket];
-
-    f.reads = synthesize_reads(config.days, mean_rate, cv,
-                               config.spike_days_mean,
-                               config.spike_rate_per_horizon, rng);
-
-    // Writes: proportional to reads plus a small base update rate.
-    f.writes.resize(config.days);
-    for (std::size_t t = 0; t < config.days; ++t) {
-      const double jitter = std::max(0.0, 1.0 + rng.normal(0.0, 0.1));
-      f.writes[t] = std::max(
-          0.0, config.write_read_ratio * f.reads[t] +
-                   config.base_write_rate * jitter);
-    }
-
-    // Size: Poisson in MB with mean 100 (paper Sec. 3.1), constant over the
-    // horizon.
-    const double size_mb = std::max(
-        config.min_size_mb, static_cast<double>(rng.poisson(config.mean_size_mb)));
-    f.size_gb = size_mb / 1024.0;
-  }
+  std::vector<FileRecord> files;
+  files.reserve(config.file_count);
+  for (std::size_t i = 0; i < config.file_count; ++i)
+    files.push_back(make_file(config, shares, ranges, root, i));
 
   // Co-request groups: partition a random subset of files into small groups
   // ("files linked to one webpage"); the concurrent frequency r_dc is a

@@ -21,6 +21,20 @@ double to_double(const std::string& field, const char* what) {
   return value;
 }
 
+/// Strict integer parse: the whole field must be a base-10 integer, so
+/// "1.5", "7 ", "0x2", or an empty field are rejected rather than silently
+/// truncated the way a parse-as-double-then-cast would accept them.
+template <typename T>
+T to_integer(const std::string& field, const char* what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size())
+    throw std::runtime_error(std::string("load_trace: bad integer in ") +
+                             what + ": '" + field + "'");
+  return value;
+}
+
 }  // namespace
 
 void save_trace(const RequestTrace& trace, const std::filesystem::path& path) {
@@ -69,9 +83,11 @@ RequestTrace load_trace(const std::filesystem::path& path) {
   if (rows.empty() || rows[0].size() < 3 || rows[0][0] != "minicost-trace")
     throw std::runtime_error("load_trace: not a minicost trace file: " +
                              path.string());
-  if (to_double(rows[0][1], "version") != kFormatVersion)
-    throw std::runtime_error("load_trace: unsupported version");
-  const auto days = static_cast<std::size_t>(to_double(rows[0][2], "days"));
+  if (to_integer<int>(rows[0][1], "version") != kFormatVersion)
+    throw std::runtime_error("load_trace: unsupported version '" +
+                             rows[0][1] + "' (this build reads " +
+                             std::to_string(kFormatVersion) + ")");
+  const auto days = to_integer<std::size_t>(rows[0][2], "days");
 
   std::vector<FileRecord> files;
   std::vector<CoRequestGroup> groups;
@@ -102,7 +118,7 @@ RequestTrace load_trace(const std::filesystem::path& path) {
         const std::string token =
             members.substr(start, sep == std::string::npos ? sep : sep - start);
         if (!token.empty())
-          g.members.push_back(static_cast<FileId>(to_double(token, "member")));
+          g.members.push_back(to_integer<FileId>(token, "member"));
         if (sep == std::string::npos) break;
         start = sep + 1;
       }

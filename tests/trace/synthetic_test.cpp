@@ -174,6 +174,32 @@ TEST(SyntheticTest, RejectsBadConfigs) {
   EXPECT_THROW(generate_synthetic(config), std::invalid_argument);
 }
 
+TEST(SyntheticTest, ChunkedGenerationMatchesWholeTrace) {
+  SyntheticConfig config;
+  config.file_count = 50;
+  config.days = 8;
+  config.seed = 23;
+  const RequestTrace whole = generate_synthetic(config);
+
+  // Any chunking reproduces the same files bit for bit — the property the
+  // out-of-core packer (tools/tracepack generate) relies on.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{50}}) {
+    for (std::size_t first = 0; first < config.file_count; first += chunk) {
+      const std::size_t count = std::min(chunk, config.file_count - first);
+      const auto files = generate_synthetic_files(config, first, count);
+      ASSERT_EQ(files.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(files[i].name, whole.files()[first + i].name);
+        EXPECT_EQ(files[i].size_gb, whole.files()[first + i].size_gb);
+        EXPECT_EQ(files[i].reads, whole.files()[first + i].reads);
+        EXPECT_EQ(files[i].writes, whole.files()[first + i].writes);
+      }
+    }
+  }
+  EXPECT_THROW(generate_synthetic_files(config, 45, 10), std::out_of_range);
+}
+
 TEST(SyntheticTest, VariabilityRangesCoverPaperBuckets) {
   const auto ranges = variability_bucket_ranges();
   ASSERT_EQ(ranges.size(), 5u);

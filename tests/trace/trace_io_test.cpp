@@ -85,5 +85,58 @@ TEST(TraceIoTest2, LoadMissingFileThrows) {
   EXPECT_THROW(load_trace("/nonexistent/trace.csv"), std::runtime_error);
 }
 
+// Header fields are integers, parsed strictly: a fractional or garbage
+// version/days value must be rejected, not truncated through a double.
+TEST_F(TraceIoTest, LoadRejectsFractionalVersion) {
+  std::ofstream out(path_);
+  out << "minicost-trace,1.0,2\n";  // "1.0" would pass a to_double parse
+  out << "file,foo,0.1,1,2,0,0\n";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadRejectsFractionalDays) {
+  std::ofstream out(path_);
+  out << "minicost-trace,1,2.5\n";
+  out << "file,foo,0.1,1,2,0,0\n";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, LoadRejectsTrailingGarbageInHeaderNumbers) {
+  for (const char* header : {"minicost-trace,1x,2", "minicost-trace,1,2 ",
+                             "minicost-trace,0x1,2", "minicost-trace,,2"}) {
+    std::ofstream out(path_);
+    out << header << "\n";
+    out << "file,foo,0.1,1,2,0,0\n";
+    out.close();
+    EXPECT_THROW(load_trace(path_), std::runtime_error) << header;
+  }
+}
+
+TEST_F(TraceIoTest, LoadRejectsFractionalGroupMember) {
+  std::ofstream out(path_);
+  out << "minicost-trace,1,2\n";
+  out << "file,a,0.1,1,2,0,0\n";
+  out << "file,b,0.1,1,2,0,0\n";
+  out << "group,0;1.5,0.5,0.5\n";
+  out.close();
+  EXPECT_THROW(load_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, UnsupportedVersionNamesTheVersion) {
+  std::ofstream out(path_);
+  out << "minicost-trace,9,2\n";
+  out << "file,foo,0.1,1,2,0,0\n";
+  out.close();
+  try {
+    load_trace(path_);
+    FAIL() << "expected an unsupported-version error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("'9'"), std::string::npos)
+        << error.what();
+  }
+}
+
 }  // namespace
 }  // namespace minicost::trace
