@@ -4,6 +4,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "obs/run_report.hpp"
 #include "trace/synthetic.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
@@ -92,6 +93,17 @@ void emit(const std::string& name, const std::string& banner,
   std::ofstream out(path);
   if (out) out << table.to_string();
   std::cout << "[csv] " << path << "\n";
+  write_run_report(name);
+}
+
+std::filesystem::path write_run_report(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  obs::RunReport report = obs::make_report(name);
+  report.metrics.insert(report.metrics.end(), metrics.begin(), metrics.end());
+  const std::filesystem::path path = obs::write_report(report, bench_out());
+  std::cout << "[report] " << path.string() << "\n";
+  return path;
 }
 
 void expectation(const std::string& text) {

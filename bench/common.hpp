@@ -15,6 +15,8 @@
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/metrics.hpp"
 #include "core/optimal.hpp"
@@ -55,9 +57,20 @@ std::unique_ptr<rl::A3CAgent> shared_agent(
 std::filesystem::path bench_out();
 
 /// Prints the table under a figure banner and mirrors it to
-/// bench_out()/<name>.csv.
+/// bench_out()/<name>.csv. Also leaves the machine-readable run report
+/// (write_run_report below) next to the CSV.
 void emit(const std::string& name, const std::string& banner,
           const util::Table& table);
+
+/// Writes the schema-versioned observability run report for this process to
+/// bench_out()/<name>.json (src/obs/run_report.hpp): env fingerprint, every
+/// obs counter/timer touched so far, peak RSS, plus the bench-specific
+/// `metrics` scalars. Refuses to overwrite a report written under a
+/// different env fingerprint — those get a <name>.<k>.json sibling instead.
+/// Returns the path written.
+std::filesystem::path write_run_report(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics = {});
 
 /// Prints the "expected shape" note that accompanies every figure.
 void expectation(const std::string& text);

@@ -1,0 +1,22 @@
+// Drop-in replacement for benchmark::benchmark_main that also leaves the
+// machine-readable run report behind: after the benchmarks run, the process's
+// obs counters/timers, env fingerprint, and peak RSS are written to
+// MINICOST_OUT/<binary-name>.json (see src/obs/run_report.hpp), where the CI
+// perf gate (tools/bench_diff.py) picks them up.
+
+#include <filesystem>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  const std::string name =
+      argc > 0 ? std::filesystem::path(argv[0]).stem().string() : "gbench";
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  minicost::benchx::write_run_report(name);
+  return 0;
+}

@@ -14,8 +14,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common.hpp"
 #include "core/greedy.hpp"
 #include "core/planner.hpp"
 #include "core/policy.hpp"
@@ -112,5 +114,19 @@ int main() {
                 m.scalar_seconds / m.batched_seconds);
   }
   std::printf("]}\n");
+
+  // Run report: per-policy throughput scalars for the CI perf gate
+  // (tools/bench_diff.py reads *_per_sec as higher-is-better).
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("files", static_cast<double>(files));
+  for (const Measurement& m : results) {
+    metrics.emplace_back(m.policy + ".scalar_files_per_sec",
+                         static_cast<double>(files) / m.scalar_seconds);
+    metrics.emplace_back(m.policy + ".batched_files_per_sec",
+                         static_cast<double>(files) / m.batched_seconds);
+    metrics.emplace_back(m.policy + ".speedup",
+                         m.scalar_seconds / m.batched_seconds);
+  }
+  benchx::write_run_report("micro_batch_plan", metrics);
   return 0;
 }

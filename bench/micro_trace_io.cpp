@@ -10,12 +10,16 @@
 //   * eval monolithic vs sharded: Greedy over the last 35 days, and a check
 //     that the two bills match bit for bit
 //
-// Output: one JSON object on stdout, mirrored to bench_out()/micro_trace_io.json.
+// Output: one JSON object on stdout, mirrored to
+// bench_out()/micro_trace_io_raw.json; the schema-versioned run report for
+// the CI perf gate goes to bench_out()/micro_trace_io.json.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
@@ -133,10 +137,23 @@ int main() {
   if (scale > sizes.back()) sizes.push_back(scale);  // e.g. the 1M run
 
   const std::filesystem::path dir = benchx::bench_out();
+  std::vector<std::pair<std::string, double>> metrics;
   std::ostringstream json;
   json << "{\"bench\":\"micro_trace_io\",\"days\":" << days << ",\"results\":[";
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const Row row = run_size(sizes[i], days, dir);
+    const std::string prefix = "n" + std::to_string(row.files) + ".";
+    metrics.emplace_back(prefix + "pack_seconds", row.pack_seconds);
+    metrics.emplace_back(prefix + "mct_open_scan_seconds",
+                         row.open_scan_seconds);
+    metrics.emplace_back(prefix + "mct_scan_gb_per_sec",
+                         row.scan_gb / row.open_scan_seconds);
+    metrics.emplace_back(prefix + "eval_monolithic_seconds",
+                         row.eval_mono_seconds);
+    metrics.emplace_back(prefix + "eval_sharded_seconds",
+                         row.eval_shard_seconds);
+    metrics.emplace_back(prefix + "bills_identical",
+                         row.identical ? 1.0 : 0.0);
     char buf[512];
     std::snprintf(
         buf, sizeof buf,
@@ -155,6 +172,7 @@ int main() {
   json << "]}";
 
   std::printf("%s\n", json.str().c_str());
-  std::ofstream(dir / "micro_trace_io.json") << json.str() << "\n";
+  std::ofstream(dir / "micro_trace_io_raw.json") << json.str() << "\n";
+  benchx::write_run_report("micro_trace_io", metrics);
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "sim/cost_model.hpp"
 #include "stats/descriptive.hpp"
 #include "util/stopwatch.hpp"
@@ -26,7 +27,12 @@ PlanResult run_policy(const trace::RequestTrace& trace,
 
   const PlanContext context{trace,   pricing, options.start_day,
                             end_day, initial, options.pool};
-  policy.prepare(context);
+  {
+    // Forecast phase: prepare() is where forecasting policies fit their
+    // models (ARIMA/EWMA) and the RL policy warms its featurizer.
+    MC_OBS_SCOPE("core.run_policy.forecast");
+    policy.prepare(context);
+  }
 
   PlanResult result;
   result.policy_name = policy.name();
@@ -35,21 +41,29 @@ PlanResult run_policy(const trace::RequestTrace& trace,
   result.plan.reserve(window);
   result.day_seconds.reserve(window);
 
+  MC_OBS_COUNT("core.run_policy.calls", 1);
+  MC_OBS_COUNT("core.run_policy.files", n);
+  MC_OBS_COUNT("core.run_policy.days", window);
+
   std::vector<pricing::StorageTier> current = initial;
-  for (std::size_t day = options.start_day; day < end_day; ++day) {
-    util::Stopwatch watch;
-    sim::DayPlan day_plan(n);
-    // The whole day goes through the batch API; policies fan the per-file
-    // work out over context.pool (see TieringPolicy::decide_day).
-    policy.decide_day(context, day, current, day_plan);
-    current = day_plan;
-    result.day_seconds.push_back(watch.seconds());
-    result.decision_seconds += result.day_seconds.back();
-    result.plan.push_back(std::move(day_plan));
+  {
+    MC_OBS_SCOPE("core.run_policy.decide");
+    for (std::size_t day = options.start_day; day < end_day; ++day) {
+      util::Stopwatch watch;
+      sim::DayPlan day_plan(n);
+      // The whole day goes through the batch API; policies fan the per-file
+      // work out over context.pool (see TieringPolicy::decide_day).
+      policy.decide_day(context, day, current, day_plan);
+      current = day_plan;
+      result.day_seconds.push_back(watch.seconds());
+      result.decision_seconds += result.day_seconds.back();
+      result.plan.push_back(std::move(day_plan));
+    }
   }
 
   // Bill the window: the simulator runs on the windowed trace so that
   // storage/requests outside the window don't pollute the report.
+  MC_OBS_SCOPE("core.run_policy.billing");
   const trace::RequestTrace window_trace =
       trace.window(options.start_day, window);
   sim::SimulatorOptions sim_options;

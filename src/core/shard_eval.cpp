@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace minicost::core {
 
 ShardEvalResult run_policy_sharded(const store::TraceReader& reader,
@@ -25,10 +27,13 @@ ShardEvalResult run_policy_sharded(const store::TraceReader& reader,
   result.start_day = options.start_day;
   result.report = sim::BillingReport(n, window);
 
+  MC_OBS_COUNT("core.shard_eval.calls", 1);
   for (std::size_t first = 0; first < n; first += shard) {
     const std::size_t count = std::min(shard, n - first);
-    const trace::RequestTrace shard_trace =
-        reader.materialize_shard(first, count);
+    const trace::RequestTrace shard_trace = [&] {
+      MC_OBS_SCOPE("core.shard_eval.materialize");
+      return reader.materialize_shard(first, count);
+    }();
 
     PlanOptions plan_options;
     plan_options.start_day = options.start_day;
@@ -42,9 +47,14 @@ ShardEvalResult run_policy_sharded(const store::TraceReader& reader,
 
     PlanResult shard_result =
         run_policy(shard_trace, pricing, policy, plan_options);
-    result.report.merge_shard(shard_result.report, first);
+    {
+      MC_OBS_SCOPE("core.shard_eval.merge");
+      result.report.merge_shard(shard_result.report, first);
+    }
     result.decision_seconds += shard_result.decision_seconds;
     ++result.shard_count;
+    MC_OBS_COUNT("core.shard_eval.shards", 1);
+    MC_OBS_COUNT("core.shard_eval.files", count);
 
     if (options.release_shard_pages)
       reader.release_frequency_range(first, count);

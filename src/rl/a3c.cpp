@@ -10,6 +10,7 @@
 
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "stats/descriptive.hpp"
 #include "util/thread_pool.hpp"
 
@@ -214,6 +215,11 @@ void A3CAgent::train(const trace::RequestTrace& trace,
   if (trace.days() < h + 2)
     throw std::invalid_argument("A3CAgent::train: trace shorter than history");
 
+  MC_OBS_SCOPE("rl.a3c.train");
+  const std::size_t episodes_before =
+      episodes_.load(std::memory_order_relaxed);
+  const std::size_t steps_before = env_steps_.load(std::memory_order_relaxed);
+
   // File sampling weights: oversample the files where decisions carry
   // information — high-variability files (re-tiering opportunities),
   // popular files (where a wrong tier is expensive), and files near the
@@ -333,6 +339,11 @@ void A3CAgent::train(const trace::RequestTrace& trace,
       options.on_progress(progress);
     }
   }
+
+  MC_OBS_COUNT("rl.a3c.train.episodes",
+               episodes_.load(std::memory_order_relaxed) - episodes_before);
+  MC_OBS_COUNT("rl.a3c.train.env_steps",
+               env_steps_.load(std::memory_order_relaxed) - steps_before);
 }
 
 A3CAgent::EpisodeOutcome A3CAgent::run_batch(
@@ -406,7 +417,9 @@ std::vector<Action> A3CAgent::act_batch(
     util::ThreadPool* pool) {
   if (files.size() != current_tiers.size())
     throw std::invalid_argument("A3CAgent::act_batch: span width mismatch");
+  MC_OBS_SCOPE("rl.a3c.act_batch");
   const std::size_t n = files.size();
+  MC_OBS_COUNT("rl.a3c.act_batch.files", n);
   std::vector<Action> actions(n);
   if (n == 0) return actions;
 

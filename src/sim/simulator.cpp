@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace minicost::sim {
@@ -76,6 +77,8 @@ void StorageSimulator::advance(const DayPlan& plan) {
 }
 
 const BillingReport& StorageSimulator::run(const HorizonPlan& plan) {
+  MC_OBS_SCOPE("sim.simulator.run");
+  MC_OBS_COUNT("sim.simulator.file_days", plan.size() * trace_.file_count());
   for (const DayPlan& day_plan : plan) advance(day_plan);
   return report_;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "store/crc32.hpp"
 
 namespace minicost::store {
@@ -54,6 +55,7 @@ TraceReader::TraceReader(const std::filesystem::path& path) {
     mapped_bytes_ = 0;
     throw;
   }
+  MC_OBS_COUNT("store.reader.bytes_mapped", size);
 }
 
 void TraceReader::validate(const std::filesystem::path& path) {
@@ -212,6 +214,8 @@ TraceReader::GroupView TraceReader::group(std::size_t index) const {
 }
 
 void TraceReader::verify_checksums() const {
+  MC_OBS_SCOPE("store.reader.crc_scan");
+  MC_OBS_COUNT("store.reader.crc_bytes", mapped_bytes_);
   const auto check = [&](std::uint64_t offset, std::uint64_t bytes,
                          std::uint32_t expected, const char* section) {
     if (crc32(at(offset), bytes) != expected)
@@ -233,6 +237,7 @@ trace::RequestTrace TraceReader::materialize_shard(std::size_t first,
                                                    std::size_t count) const {
   if (first + count > header_.file_count)
     throw std::out_of_range("TraceReader::materialize_shard: bad file range");
+  MC_OBS_COUNT("store.reader.files_materialized", count);
   std::vector<trace::FileRecord> files;
   files.reserve(count);
   for (std::size_t i = first; i < first + count; ++i) {
@@ -283,6 +288,7 @@ void TraceReader::release_frequency_range(std::size_t first,
                              (first + count) * 2 * header_.series_stride) /
                             page * page;
   if (end <= begin) return;
+  MC_OBS_COUNT("store.reader.pages_released", (end - begin) / page);
   // Advisory only: a failure (e.g. an unusual filesystem) costs memory
   // headroom, not correctness, so it is deliberately ignored.
   ::madvise(const_cast<std::byte*>(base_) + begin,

@@ -1,0 +1,198 @@
+// Run-report serialization: JSON round-trip fidelity (including u64 counter
+// values past 2^53), schema-version rejection, and write_report()'s refusal
+// to clobber a report written under a different environment fingerprint.
+
+#include "obs/run_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace minicost::obs {
+namespace {
+
+RunReport sample_report() {
+  RunReport report;
+  report.name = "sample";
+  report.env.git_sha = "abc123def456";
+  report.env.cpu = "Test CPU \"quoted\"";
+  report.env.compiler = "12.0.0";
+  report.env.build_type = "RelWithDebInfo";
+  report.env.sanitize = "";
+  report.env.seed = 42;
+  report.env.scale = 2000;
+  report.env.threads = 4;
+  report.rss_mib = 123.456;
+  report.metrics.emplace_back("files_per_sec", 1234.5);
+  report.metrics.emplace_back("tiny", 1e-12);
+  report.counters.push_back({"big", (std::uint64_t{1} << 53) + 1});
+  report.counters.push_back({"small", 7});
+  Registry::TimerSnapshot timer;
+  timer.name = "phase";
+  timer.stats.count = 3;
+  timer.stats.total_ns = 1007;
+  timer.stats.min_ns = 0;
+  timer.stats.max_ns = 1000;
+  timer.stats.buckets[0] = 1;
+  timer.stats.buckets[3] = 1;
+  timer.stats.buckets[10] = 1;
+  report.timers.push_back(timer);
+  return report;
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("obs_report_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  ~TempDir() { std::filesystem::remove_all(dir_); }
+  const std::filesystem::path& path() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+};
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(RunReportTest, JsonRoundTripIsExact) {
+  const RunReport original = sample_report();
+  const RunReport back = report_from_json(to_json(original));
+
+  EXPECT_EQ(back.name, original.name);
+  EXPECT_EQ(back.env.git_sha, original.env.git_sha);
+  EXPECT_EQ(back.env.cpu, original.env.cpu);
+  EXPECT_EQ(back.env.compiler, original.env.compiler);
+  EXPECT_EQ(back.env.build_type, original.env.build_type);
+  EXPECT_EQ(back.env.sanitize, original.env.sanitize);
+  EXPECT_EQ(back.env.seed, original.env.seed);
+  EXPECT_EQ(back.env.scale, original.env.scale);
+  EXPECT_EQ(back.env.threads, original.env.threads);
+  EXPECT_DOUBLE_EQ(back.rss_mib, original.rss_mib);
+
+  ASSERT_EQ(back.metrics.size(), original.metrics.size());
+  for (std::size_t i = 0; i < back.metrics.size(); ++i) {
+    EXPECT_EQ(back.metrics[i].first, original.metrics[i].first);
+    EXPECT_DOUBLE_EQ(back.metrics[i].second, original.metrics[i].second);
+  }
+  ASSERT_EQ(back.counters.size(), original.counters.size());
+  for (std::size_t i = 0; i < back.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, original.counters[i].name);
+    // exact u64 round-trip: 2^53 + 1 must not be squeezed through a double
+    EXPECT_EQ(back.counters[i].value, original.counters[i].value);
+  }
+  ASSERT_EQ(back.timers.size(), 1u);
+  EXPECT_EQ(back.timers[0].name, "phase");
+  EXPECT_EQ(back.timers[0].stats.count, 3u);
+  EXPECT_EQ(back.timers[0].stats.total_ns, 1007u);
+  EXPECT_EQ(back.timers[0].stats.buckets, original.timers[0].stats.buckets);
+}
+
+TEST(RunReportTest, SchemaVersionBumpIsRejected) {
+  std::string json = to_json(sample_report());
+  const std::string needle = "\"schema\":1";
+  const std::size_t pos = json.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  json.replace(pos, needle.size(), "\"schema\":2");
+  EXPECT_THROW((void)report_from_json(json), std::runtime_error);
+}
+
+TEST(RunReportTest, MalformedJsonIsRejected) {
+  EXPECT_THROW((void)report_from_json("{not json"), std::runtime_error);
+  EXPECT_THROW((void)report_from_json("{}"), std::runtime_error);
+}
+
+TEST(RunReportTest, WrongBucketCountIsRejected) {
+  std::string json = to_json(sample_report());
+  // Drop one bucket from the 32-long array.
+  const std::size_t open = json.find("\"buckets\":[");
+  ASSERT_NE(open, std::string::npos);
+  const std::size_t comma = json.find(',', open);
+  json.erase(comma, 2);  // ",0" -> shorter array
+  EXPECT_THROW((void)report_from_json(json), std::runtime_error);
+}
+
+TEST(RunReportTest, MakeReportSnapshotsRegistry) {
+  Registry::global().reset();
+  Registry::global().counter("report.test.counter").add(9);
+  Registry::global().timer("report.test.timer").record_ns(50);
+  const RunReport report = make_report("snapshot_test");
+  EXPECT_EQ(report.name, "snapshot_test");
+  EXPECT_FALSE(report.env.cpu.empty());
+  EXPECT_FALSE(report.env.compiler.empty());
+  EXPECT_GT(report.rss_mib, 0.0);
+  bool found_counter = false;
+  for (const auto& snapshot : report.counters)
+    if (snapshot.name == "report.test.counter") {
+      found_counter = true;
+      EXPECT_EQ(snapshot.value, 9u);
+    }
+  EXPECT_TRUE(found_counter);
+}
+
+TEST(WriteReportTest, SameFingerprintOverwrites) {
+  TempDir dir;
+  RunReport report = sample_report();
+  const std::filesystem::path first = write_report(report, dir.path());
+  EXPECT_EQ(first.filename(), "sample.json");
+  report.metrics[0].second = 999.0;
+  const std::filesystem::path second = write_report(report, dir.path());
+  EXPECT_EQ(first, second);
+  const RunReport back = report_from_json(slurp(second));
+  EXPECT_DOUBLE_EQ(back.metrics[0].second, 999.0);
+}
+
+TEST(WriteReportTest, DifferentFingerprintGetsVersionedSibling) {
+  TempDir dir;
+  RunReport report = sample_report();
+  write_report(report, dir.path());
+
+  RunReport foreign = sample_report();
+  foreign.env.cpu = "Another CPU";
+  const std::filesystem::path sibling = write_report(foreign, dir.path());
+  EXPECT_EQ(sibling.filename(), "sample.1.json");
+  // The original is untouched.
+  const RunReport original = report_from_json(slurp(dir.path() / "sample.json"));
+  EXPECT_EQ(original.env.cpu, sample_report().env.cpu);
+
+  // A third incomparable write takes the next free slot.
+  foreign.env.cpu = "Third CPU";
+  EXPECT_EQ(write_report(foreign, dir.path()).filename(), "sample.2.json");
+}
+
+TEST(WriteReportTest, GitShaDifferenceStillOverwrites) {
+  // Reports are compared across commits: only the non-SHA fields gate.
+  TempDir dir;
+  RunReport report = sample_report();
+  write_report(report, dir.path());
+  report.env.git_sha = "fff000fff000";
+  EXPECT_EQ(write_report(report, dir.path()).filename(), "sample.json");
+}
+
+TEST(WriteReportTest, UnparseableExistingFileIsNotClobbered) {
+  TempDir dir;
+  std::ofstream(dir.path() / "sample.json") << "definitely not a report";
+  const std::filesystem::path path =
+      write_report(sample_report(), dir.path());
+  EXPECT_EQ(path.filename(), "sample.1.json");
+  EXPECT_EQ(slurp(dir.path() / "sample.json"), "definitely not a report");
+}
+
+}  // namespace
+}  // namespace minicost::obs

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py.
+
+Covers the CI perf gate end to end on synthetic reports: direction
+inference, the injected-regression failure path (the acceptance criterion),
+noise floors, per-metric threshold overrides, counter-drift pinning, env
+fingerprint mismatch downgrading, and schema rejection. Run directly or
+through ctest.
+"""
+
+import importlib.util
+import io
+import json
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOL_PATH = REPO_ROOT / "tools" / "bench_diff.py"
+
+spec = importlib.util.spec_from_file_location("bench_diff", TOOL_PATH)
+bench_diff = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(bench_diff)
+
+
+ENV = {
+    "git_sha": "abc123def456",
+    "cpu": "Test CPU",
+    "compiler": "12.0.0",
+    "build_type": "RelWithDebInfo",
+    "sanitize": "",
+    "seed": 42,
+    "scale": 2000,
+    "threads": 4,
+}
+
+
+def report(metrics=None, counters=None, timers=None, env=None, schema=1,
+           name="test_bench"):
+    return {
+        "schema": schema,
+        "bench": name,
+        "env": dict(ENV if env is None else env),
+        "peak_rss_mib": 100.0,
+        "metrics": metrics or {},
+        "counters": counters or {},
+        "timers": timers or {},
+    }
+
+
+def timer(count, total_ns):
+    return {"count": count, "total_ns": total_ns, "min_ns": 0,
+            "max_ns": total_ns, "buckets": [0] * 32}
+
+
+class BenchDiffTest(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.dir = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, name, payload):
+        path = self.dir / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def run_tool(self, baseline, current, *extra):
+        argv = [self.write("baseline.json", baseline),
+                self.write("current.json", current), *extra]
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            try:
+                code = bench_diff.main(argv)
+            except SystemExit as exit_err:
+                code = 2 if isinstance(exit_err.code, str) else exit_err.code
+        return code, out.getvalue(), err.getvalue()
+
+    # --- direction inference -------------------------------------------
+
+    def test_direction_suffixes(self):
+        self.assertEqual(bench_diff.direction("batched_files_per_sec"),
+                         "higher")
+        self.assertEqual(bench_diff.direction("MiniCost.speedup"), "higher")
+        self.assertEqual(bench_diff.direction("pack_seconds"), "lower")
+        self.assertEqual(bench_diff.direction("mean_ns"), "lower")
+        self.assertEqual(bench_diff.direction("peak_mib"), "lower")
+        self.assertEqual(bench_diff.direction("bills_identical"), "info")
+        self.assertEqual(bench_diff.direction("shards"), "info")
+
+    # --- the acceptance criterion: injected regression fails -----------
+
+    def test_injected_throughput_regression_fails(self):
+        baseline = report(metrics={"greedy.files_per_sec": 1000.0})
+        # 60% throughput drop against a 50% threshold: must fail.
+        current = report(metrics={"greedy.files_per_sec": 400.0})
+        code, out, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
+        self.assertIn("regression", out)
+
+    def test_injected_time_regression_fails(self):
+        baseline = report(metrics={"eval_seconds": 10.0})
+        current = report(metrics={"eval_seconds": 30.0})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
+
+    def test_within_threshold_passes(self):
+        baseline = report(metrics={"greedy.files_per_sec": 1000.0})
+        current = report(metrics={"greedy.files_per_sec": 700.0})
+        code, _, _ = self.run_tool(baseline, current)  # -30% vs 50% allowed
+        self.assertEqual(code, 0)
+
+    def test_improvement_passes(self):
+        baseline = report(metrics={"eval_seconds": 10.0,
+                                   "x.files_per_sec": 100.0})
+        current = report(metrics={"eval_seconds": 1.0,
+                                  "x.files_per_sec": 900.0})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+
+    # --- noise floor ----------------------------------------------------
+
+    def test_sub_floor_times_never_fail(self):
+        baseline = report(metrics={"merge_seconds": 0.0001})
+        current = report(metrics={"merge_seconds": 0.005})  # 50x, still tiny
+        code, out, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+        self.assertIn("below noise floor", out)
+
+    def test_floor_is_configurable(self):
+        baseline = report(metrics={"merge_seconds": 0.0001})
+        current = report(metrics={"merge_seconds": 0.005})
+        code, _, _ = self.run_tool(baseline, current, "--min-seconds", "0")
+        self.assertEqual(code, 1)
+
+    # --- thresholds -----------------------------------------------------
+
+    def test_global_threshold_flag(self):
+        baseline = report(metrics={"x.files_per_sec": 1000.0})
+        current = report(metrics={"x.files_per_sec": 950.0})
+        code, _, _ = self.run_tool(baseline, current, "--threshold", "1")
+        self.assertEqual(code, 1)
+
+    def test_per_metric_override(self):
+        baseline = report(metrics={"a.files_per_sec": 1000.0,
+                                   "b.files_per_sec": 1000.0})
+        current = report(metrics={"a.files_per_sec": 900.0,
+                                  "b.files_per_sec": 900.0})
+        code, out, _ = self.run_tool(
+            baseline, current, "--threshold", "50",
+            "--threshold-for", "a.files_per_sec=5")
+        self.assertEqual(code, 1)
+        self.assertIn("a.files_per_sec", out.split("regression(s)")[-1])
+
+    # --- counters -------------------------------------------------------
+
+    def test_counter_drift_is_informational_by_default(self):
+        baseline = report(counters={"core.run_policy.files": 1000})
+        current = report(counters={"core.run_policy.files": 2000})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+
+    def test_counter_drift_fails_when_pinned(self):
+        baseline = report(counters={"core.run_policy.files": 1000})
+        current = report(counters={"core.run_policy.files": 2000})
+        code, _, _ = self.run_tool(baseline, current,
+                                   "--fail-on-counter-change")
+        self.assertEqual(code, 1)
+
+    def test_identical_counters_pass_when_pinned(self):
+        counters = {"core.run_policy.files": 1000, "sim.file_days": 5}
+        code, _, _ = self.run_tool(report(counters=counters),
+                                   report(counters=dict(counters)),
+                                   "--fail-on-counter-change")
+        self.assertEqual(code, 0)
+
+    # --- timers ---------------------------------------------------------
+
+    def test_timer_mean_regression_fails(self):
+        baseline = report(timers={"core.decide": timer(10, int(2e9))})
+        current = report(timers={"core.decide": timer(10, int(8e9))})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
+
+    def test_timer_below_floor_is_noise(self):
+        baseline = report(timers={"core.decide": timer(10, 1000)})
+        current = report(timers={"core.decide": timer(10, 9000)})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+
+    # --- env fingerprint ------------------------------------------------
+
+    def test_env_mismatch_downgrades_to_warning(self):
+        other_env = dict(ENV, cpu="Different CPU")
+        baseline = report(metrics={"x.files_per_sec": 1000.0})
+        current = report(metrics={"x.files_per_sec": 100.0}, env=other_env)
+        code, _, err = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+        self.assertIn("fingerprints differ", err)
+
+    def test_git_sha_difference_is_comparable(self):
+        other_env = dict(ENV, git_sha="fff000fff000")
+        baseline = report(metrics={"x.files_per_sec": 1000.0})
+        current = report(metrics={"x.files_per_sec": 100.0}, env=other_env)
+        code, _, err = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
+        self.assertNotIn("fingerprints differ", err)
+
+    # --- schema ---------------------------------------------------------
+
+    def test_wrong_schema_is_a_usage_error(self):
+        baseline = report(schema=2)
+        code, _, _ = self.run_tool(baseline, report())
+        self.assertEqual(code, 2)
+
+    def test_malformed_json_is_a_usage_error(self):
+        path = self.dir / "bad.json"
+        path.write_text("{not json")
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            try:
+                code = bench_diff.main([str(path), str(path)])
+            except SystemExit as exit_err:
+                code = 2 if isinstance(exit_err.code, str) else exit_err.code
+        self.assertEqual(code, 2)
+
+    # --- markdown summary ----------------------------------------------
+
+    def test_summary_md_is_appended(self):
+        summary = self.dir / "summary.md"
+        summary.write_text("# existing\n")
+        baseline = report(metrics={"x.files_per_sec": 1000.0})
+        current = report(metrics={"x.files_per_sec": 100.0})
+        code, _, _ = self.run_tool(baseline, current,
+                                   "--summary-md", str(summary))
+        self.assertEqual(code, 1)
+        text = summary.read_text()
+        self.assertTrue(text.startswith("# existing\n"))
+        self.assertIn("REGRESSION", text)
+        self.assertIn("| metric |", text)
+
+    # --- real reports round-trip through the gate -----------------------
+
+    def test_identical_reports_pass(self):
+        full = report(
+            metrics={"eval_seconds": 3.0, "x.files_per_sec": 500.0},
+            counters={"a": 1, "b": 2},
+            timers={"t": timer(5, int(1e9))})
+        code, out, _ = self.run_tool(full, json.loads(json.dumps(full)))
+        self.assertEqual(code, 0)
+        self.assertIn("no regressions", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -16,12 +16,14 @@
 #include "core/greedy.hpp"
 #include "core/optimal.hpp"
 #include "core/planner.hpp"
+#include "obs/run_report.hpp"
 #include "sim/cost_model.hpp"
 #include "trace/analysis.hpp"
 #include "trace/pagecounts_parser.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -148,6 +150,17 @@ int cmd_plan(int argc, const char* const* argv) {
             << util::format_count(result.report.tier_changes())
             << ", decision time: "
             << util::format_double(result.decision_seconds, 2) << "s\n";
+
+  // Machine-readable run report (obs counters/timers + env fingerprint) for
+  // the CI perf gate; same MINICOST_OUT directory the benches write to.
+  obs::RunReport report = obs::make_report("minicost_plan");
+  report.metrics.emplace_back("decision_seconds", result.decision_seconds);
+  report.metrics.emplace_back("total_cost", total.total());
+  std::cout << "[report] "
+            << obs::write_report(report,
+                                 util::env_str("MINICOST_OUT", "bench_out"))
+                   .string()
+            << "\n";
   return 0;
 }
 

@@ -13,8 +13,6 @@
 // (core/shard_eval.hpp) and can check the merged bill bit-for-bit against
 // the monolithic in-memory path with --compare.
 
-#include <sys/resource.h>
-
 #include <cinttypes>
 #include <cstring>
 #include <iostream>
@@ -24,23 +22,21 @@
 #include "core/greedy.hpp"
 #include "core/optimal.hpp"
 #include "core/shard_eval.hpp"
+#include "obs/run_report.hpp"
 #include "store/trace_reader.hpp"
 #include "store/trace_writer.hpp"
 #include "trace/synthetic.hpp"
 #include "trace/trace_io.hpp"
 #include "util/cli.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace minicost;
 
-/// Peak resident set size so far, in MiB (Linux ru_maxrss is in KiB).
-double peak_rss_mib() {
-  struct rusage usage{};
-  ::getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;
-}
+using obs::peak_rss_mib;
 
 std::unique_ptr<core::TieringPolicy> make_policy(const std::string& which) {
   if (which == "hot") return core::make_hot_policy();
@@ -181,6 +177,7 @@ int cmd_eval(int argc, const char* const* argv) {
     return 1;
   }
 
+  util::Stopwatch eval_watch;
   const store::TraceReader reader(cli.positional().front());
   const pricing::PricingPolicy prices = make_prices(cli.str("preset"));
   std::unique_ptr<core::TieringPolicy> policy = make_policy(cli.str("policy"));
@@ -215,6 +212,8 @@ int cmd_eval(int argc, const char* const* argv) {
             << "s, peak RSS: " << util::format_double(peak_rss_mib(), 1)
             << " MiB\n";
 
+  int exit_code = 0;
+  bool compared_identical = true;
   if (cli.boolean("compare")) {
     const trace::RequestTrace tr = reader.materialize();
     core::PlanOptions mono;
@@ -231,9 +230,27 @@ int cmd_eval(int argc, const char* const* argv) {
       identical = sharded.report.file_total(f) == reference.report.file_total(f);
     std::cout << "monolithic comparison: "
               << (identical ? "byte-identical" : "MISMATCH") << "\n";
-    return identical ? 0 : 1;
+    compared_identical = identical;
+    exit_code = identical ? 0 : 1;
   }
-  return 0;
+
+  // Run report for the CI perf gate: eval wall time, decision time, and
+  // every obs counter/timer this process touched (shard merge, trace I/O,
+  // billing). Lands in MINICOST_OUT next to the bench reports.
+  obs::RunReport report = obs::make_report("tracepack_eval");
+  report.metrics.emplace_back("eval_seconds", eval_watch.seconds());
+  report.metrics.emplace_back("decision_seconds", sharded.decision_seconds);
+  report.metrics.emplace_back("shards",
+                              static_cast<double>(sharded.shard_count));
+  report.metrics.emplace_back("total_cost", total.total());
+  if (cli.boolean("compare"))
+    report.metrics.emplace_back("bills_identical",
+                                compared_identical ? 1.0 : 0.0);
+  const std::filesystem::path out_dir =
+      util::env_str("MINICOST_OUT", "bench_out");
+  std::cout << "[report] " << obs::write_report(report, out_dir).string()
+            << "\n";
+  return exit_code;
 }
 
 void usage() {
