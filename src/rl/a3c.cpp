@@ -87,6 +87,12 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
   };
   std::vector<Step> steps;
   steps.reserve(config_.episode_len);
+  // Rollout logits, cached per step (T x kActionCount, row-major). Weights
+  // are frozen within an episode, so the update phase can reuse these
+  // instead of re-forwarding the actor for its output — the re-forward
+  // below only rebuilds layer activation caches for backward().
+  std::vector<double> rollout_logits;
+  rollout_logits.reserve(config_.episode_len * kActionCount);
 
   EpisodeOutcome outcome;
   const pricing::StorageTier start_tier =
@@ -103,6 +109,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
       config_.epsilon_hold_mean > 0.0 ? 1.0 / config_.epsilon_hold_mean : 1.0;
   while (!done) {
     const std::vector<double> logits = actor.forward(state);
+    rollout_logits.insert(rollout_logits.end(), logits.begin(), logits.end());
     const std::vector<double> pi = nn::softmax(logits);
     Action action;
     if (exploring && !rng.bernoulli(hold_stop_p)) {
@@ -133,17 +140,26 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
     returns[i] = ret;
   }
 
-  // Advantages, centered per episode. Centering is load-bearing: the critic
-  // is trained on *behavior-policy* returns, which include the cost of
-  // ε-exploration, so raw advantages of on-policy actions carry a small
+  // Critic pass: one forward per step feeds both the advantage and the
+  // value-regression gradient (the critic descends (V - R)^2, averaged over
+  // the episode). Weights are frozen within the episode, so a second
+  // forward before backward() would recompute the exact same activations.
+  //
+  // Advantages are centered per episode. Centering is load-bearing: the
+  // critic is trained on *behavior-policy* returns, which include the cost
+  // of ε-exploration, so raw advantages of on-policy actions carry a small
   // persistent positive bias — a ratchet that saturates whichever action
   // currently dominates. Removing the episode mean leaves only the relative
   // signal between actions, which is what the policy gradient needs.
+  const double inv_n = 1.0 / static_cast<double>(steps.size());
   std::vector<double> advantages(steps.size());
   double advantage_mean = 0.0;
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    advantages[i] = returns[i] - critic.forward(steps[i].state)[0];
+    const std::vector<double> v_out = critic.forward(steps[i].state);
+    advantages[i] = returns[i] - v_out[0];
     advantage_mean += advantages[i];
+    const std::vector<double> grad_v{2.0 * (v_out[0] - returns[i]) * inv_n};
+    critic.backward(grad_v);
   }
   advantage_mean /= static_cast<double>(steps.size());
 
@@ -163,14 +179,16 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
            (config_.entropy_beta - config_.entropy_beta_initial) * progress;
   }
 
-  // Accumulate gradients: actor ascends log π(a|s)·A + β·H(π); critic
-  // descends (V - R)^2. Both losses are averaged over the episode.
-  const double inv_n = 1.0 / static_cast<double>(steps.size());
+  // Actor pass: ascends log π(a|s)·A + β·H(π), averaged over the episode.
+  // The forward() only rebuilds the layer caches backward() consumes; its
+  // output is bit-identical to the cached rollout logits (same weights,
+  // same input), so the loss reads the cache instead of recomputing.
   for (std::size_t i = 0; i < steps.size(); ++i) {
-    const std::vector<double> v_out = critic.forward(steps[i].state);
     const double advantage = advantages[i] - advantage_mean;
 
-    const std::vector<double> logits = actor.forward(steps[i].state);
+    actor.forward(steps[i].state);
+    const std::span<const double> logits(
+        rollout_logits.data() + i * kActionCount, kActionCount);
     const std::vector<double> pi = nn::softmax(logits);
     const double h = nn::entropy(pi);
     std::vector<double> grad_logits(kActionCount);
@@ -184,9 +202,6 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
       grad_logits[a] = (pg + ent) * inv_n;
     }
     actor.backward(grad_logits);
-
-    const std::vector<double> grad_v{2.0 * (v_out[0] - returns[i]) * inv_n};
-    critic.backward(grad_v);
   }
 
   std::vector<double> actor_grads = actor.collect_gradients(/*zero_after=*/true);
