@@ -26,6 +26,16 @@ void Relu::forward_batch(std::span<const double> in, std::span<double> out,
   for (std::size_t i = 0; i < n; ++i) out[i] = in[i] > 0.0 ? in[i] : 0.0;
 }
 
+void Relu::backward_batch(std::span<const double> in,
+                          std::span<const double> grad_out,
+                          std::span<double> grad_in, std::size_t batch) {
+  assert(in.size() == batch * size_ && grad_out.size() == batch * size_ &&
+         grad_in.size() == batch * size_);
+  const std::size_t n = batch * size_;
+  for (std::size_t i = 0; i < n; ++i)
+    grad_in[i] = in[i] > 0.0 ? grad_out[i] : 0.0;
+}
+
 std::unique_ptr<Layer> Relu::clone() const {
   return std::make_unique<Relu>(size_);
 }
@@ -54,6 +64,21 @@ void Tanh::forward_batch(std::span<const double> in, std::span<double> out,
   assert(in.size() == batch * size_ && out.size() == batch * size_);
   const std::size_t n = batch * size_;
   for (std::size_t i = 0; i < n; ++i) out[i] = std::tanh(in[i]);
+}
+
+void Tanh::backward_batch(std::span<const double> in,
+                          std::span<const double> grad_out,
+                          std::span<double> grad_in, std::size_t batch) {
+  assert(in.size() == batch * size_ && grad_out.size() == batch * size_ &&
+         grad_in.size() == batch * size_);
+  // Recomputes tanh from the stored pre-activation rows — the same
+  // std::tanh value forward() cached, so grad_out * (1 - t*t) matches the
+  // scalar backward() bit-for-bit.
+  const std::size_t n = batch * size_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = std::tanh(in[i]);
+    grad_in[i] = grad_out[i] * (1.0 - t * t);
+  }
 }
 
 std::unique_ptr<Layer> Tanh::clone() const {

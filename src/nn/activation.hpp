@@ -19,6 +19,9 @@ class Relu final : public Layer {
                 std::span<double> grad_in) override;
   void forward_batch(std::span<const double> in, std::span<double> out,
                      std::size_t batch) override;
+  void backward_batch(std::span<const double> in,
+                      std::span<const double> grad_out,
+                      std::span<double> grad_in, std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return {}; }
   std::span<const double> parameters() const noexcept override { return {}; }
@@ -44,6 +47,9 @@ class Tanh final : public Layer {
                 std::span<double> grad_in) override;
   void forward_batch(std::span<const double> in, std::span<double> out,
                      std::size_t batch) override;
+  void backward_batch(std::span<const double> in,
+                      std::span<const double> grad_out,
+                      std::span<double> grad_in, std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return {}; }
   std::span<const double> parameters() const noexcept override { return {}; }

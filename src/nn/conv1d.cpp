@@ -50,6 +50,100 @@ MINICOST_TARGET_CLONES void conv_wt_row_major(
   }
 }
 
+// Batched backward over the convolution block. Scalar backward() walks
+// (filter f, position p) with p inner, so every parameter accumulator sees
+// its contributions in lexicographic (row, position) order; this kernel
+// preserves exactly that order per accumulator and vectorizes only across
+// independent accumulators (DESIGN.md §7):
+//  * bias grads   — SIMD across filters; (b, p) ascend inside. Needs the
+//    incoming grads position-major (`gt`, batch x pos x filters) so the
+//    filter dimension is unit-stride — a transpose the caller does with
+//    copies, never arithmetic;
+//  * tap grads    — per tap k, SIMD across filters into the transposed
+//    accumulator `wgt` (kernel x filters); (b, p) ascend inside, each
+//    contribution the same single g*x multiply-add as the scalar pass;
+//  * input grads  — per row, from the ORIGINAL f-major grad rows `g`:
+//    filters ascend and taps DESCEND, which makes each input element j
+//    receive its window's contributions at ascending positions p = j - k,
+//    the scalar order; SIMD is across j (independent elements), and the
+//    conv region is zeroed first exactly like the scalar pass.
+// FP contraction is off for this translation unit, so all dispatch lanes
+// round identically.
+MINICOST_TARGET_CLONES void conv_backward(
+    const double* w, const double* gt, const double* g, const double* x,
+    std::size_t input, std::size_t prefix, std::size_t filters,
+    std::size_t kernel, std::size_t out_width, std::size_t batch, double* wgt,
+    double* bg, double* gx) {
+  constexpr std::size_t kTile = 16;
+  const std::size_t pos = prefix - kernel + 1;
+  std::size_t f0 = 0;
+  for (; f0 + kTile <= filters; f0 += kTile) {
+    double acc[kTile];
+    for (std::size_t j = 0; j < kTile; ++j) acc[j] = bg[f0 + j];
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* gtb = gt + b * pos * filters;
+      for (std::size_t p = 0; p < pos; ++p) {
+        const double* gp = gtb + p * filters + f0;
+        for (std::size_t j = 0; j < kTile; ++j) acc[j] += gp[j];
+      }
+    }
+    for (std::size_t j = 0; j < kTile; ++j) bg[f0 + j] = acc[j];
+  }
+  for (; f0 < filters; ++f0) {
+    double sum = bg[f0];
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t p = 0; p < pos; ++p)
+        sum += gt[b * pos * filters + p * filters + f0];
+    bg[f0] = sum;
+  }
+  for (std::size_t k = 0; k < kernel; ++k) {
+    double* wgk = wgt + k * filters;
+    std::size_t f1 = 0;
+    for (; f1 + kTile <= filters; f1 += kTile) {
+      double acc[kTile];
+      for (std::size_t j = 0; j < kTile; ++j) acc[j] = wgk[f1 + j];
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double* gtb = gt + b * pos * filters;
+        const double* xb = x + b * input;
+        for (std::size_t p = 0; p < pos; ++p) {
+          const double xk = xb[p + k];
+          const double* gp = gtb + p * filters + f1;
+          for (std::size_t j = 0; j < kTile; ++j) acc[j] += gp[j] * xk;
+        }
+      }
+      for (std::size_t j = 0; j < kTile; ++j) wgk[f1 + j] = acc[j];
+    }
+    for (; f1 < filters; ++f1) {
+      double sum = wgk[f1];
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double* xb = x + b * input;
+        for (std::size_t p = 0; p < pos; ++p)
+          sum += gt[b * pos * filters + p * filters + f1] * xb[p + k];
+      }
+      wgk[f1] = sum;
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* gb = g + b * out_width;
+    double* gxb = gx + b * input;
+    for (std::size_t i = 0; i < prefix; ++i) gxb[i] = 0.0;
+    for (std::size_t f = 0; f < filters; ++f) {
+      const double* gf = gb + f * pos;
+      const double* wf = w + f * kernel;
+      for (std::size_t k = kernel; k-- > 0;) {
+        const double wk = wf[k];
+        double* dst = gxb + k;
+        std::size_t p0 = 0;
+        for (; p0 + kTile <= pos; p0 += kTile) {
+          for (std::size_t j = 0; j < kTile; ++j)
+            dst[p0 + j] += gf[p0 + j] * wk;
+        }
+        for (; p0 < pos; ++p0) dst[p0] += gf[p0] * wk;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Conv1DOverPrefix::Conv1DOverPrefix(std::size_t input_size,
@@ -135,6 +229,48 @@ void Conv1DOverPrefix::backward(std::span<const double> grad_out,
   }
   for (std::size_t a = 0; a < aux(); ++a)
     grad_in[prefix_ + a] = grad_out[filters_ * pos + a];
+}
+
+void Conv1DOverPrefix::backward_batch(std::span<const double> in,
+                                      std::span<const double> grad_out,
+                                      std::span<double> grad_in,
+                                      std::size_t batch) {
+  assert(in.size() == batch * input_ &&
+         grad_out.size() == batch * output_size() &&
+         grad_in.size() == batch * input_);
+  const std::size_t pos = positions();
+  const std::size_t out_width = output_size();
+  // Transpose each row's conv block to position-major (pos x filters) so
+  // the kernel's bias/tap accumulations are unit-stride across filters.
+  // Copies only — no arithmetic, so nothing rounds.
+  batch_gt_.resize(batch * pos * filters_);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* gb = grad_out.data() + b * out_width;
+    double* gtb = batch_gt_.data() + b * pos * filters_;
+    for (std::size_t f = 0; f < filters_; ++f)
+      for (std::size_t p = 0; p < pos; ++p)
+        gtb[p * filters_ + f] = gb[f * pos + p];
+  }
+  // Tap gradients accumulate in a transposed scratch (kernel x filters) so
+  // the kernel can vectorize across filters; exact copy round-trip.
+  batch_wgt_.resize(kernel_ * filters_);
+  for (std::size_t f = 0; f < filters_; ++f)
+    for (std::size_t k = 0; k < kernel_; ++k)
+      batch_wgt_[k * filters_ + f] = grads_[f * kernel_ + k];
+  conv_backward(params_.data(), batch_gt_.data(), grad_out.data(), in.data(),
+                input_, prefix_, filters_, kernel_, out_width, batch,
+                batch_wgt_.data(), grads_.data() + bias_offset(),
+                grad_in.data());
+  for (std::size_t f = 0; f < filters_; ++f)
+    for (std::size_t k = 0; k < kernel_; ++k)
+      grads_[f * kernel_ + k] = batch_wgt_[k * filters_ + f];
+  // Aux features pass their gradient straight through, as in backward().
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* gb = grad_out.data() + b * out_width;
+    double* gxb = grad_in.data() + b * input_;
+    for (std::size_t a = 0; a < aux(); ++a)
+      gxb[prefix_ + a] = gb[filters_ * pos + a];
+  }
 }
 
 std::unique_ptr<Layer> Conv1DOverPrefix::clone() const {

@@ -37,6 +37,12 @@ class Conv1DOverPrefix final : public Layer {
   /// Fused batch convolution: filter taps stay in registers across rows.
   void forward_batch(std::span<const double> in, std::span<double> out,
                      std::size_t batch) override;
+  /// Fused batched backward: bias, tap, and input gradients in one pass,
+  /// SIMD across independent accumulators only — bit-identical to per-row
+  /// backward() calls in ascending row order (DESIGN.md §7).
+  void backward_batch(std::span<const double> in,
+                      std::span<const double> grad_out,
+                      std::span<double> grad_in, std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return params_; }
   std::span<const double> parameters() const noexcept override { return params_; }
@@ -59,7 +65,9 @@ class Conv1DOverPrefix final : public Layer {
   std::vector<double> params_;
   std::vector<double> grads_;
   std::vector<double> cached_input_;
-  std::vector<double> batch_wt_;  // forward_batch scratch (transposed taps)
+  std::vector<double> batch_wt_;   // forward_batch scratch (transposed taps)
+  std::vector<double> batch_gt_;   // backward_batch scratch (pos-major grads)
+  std::vector<double> batch_wgt_;  // backward_batch scratch (transposed wg)
 };
 
 }  // namespace minicost::nn

@@ -63,6 +63,81 @@ MINICOST_TARGET_CLONES void gemm_wt_row_major(const double* wt,
   }
 }
 
+// Batched backward. The scalar backward() touches three accumulator
+// families; each is vectorized here only across *independent* accumulators
+// while its own floating-point sequence stays exactly that of `batch`
+// sequential backward() calls (row 0 first):
+//  * bias grads   — SIMD across outputs o; rows b ascend inside the tile;
+//  * weight grads — per output o, SIMD across inputs i; rows b ascend
+//    inside (each wg[o][i] sees g_b * x_b[i] in row order);
+//  * input grads  — per row, SIMD across inputs i; outputs o ascend from
+//    0.0, the order the scalar pass accumulates grad_in.
+// No transposes are needed: g is out-major per row and x/gx are in-major,
+// so every inner loop is already unit-stride in its SIMD dimension. FP
+// contraction is off for this translation unit, so each multiply-then-add
+// rounds like the scalar code and all dispatch lanes agree bit-for-bit.
+MINICOST_TARGET_CLONES void dense_backward(const double* w, const double* x,
+                                           const double* g, std::size_t in,
+                                           std::size_t out, std::size_t batch,
+                                           double* wg, double* bg, double* gx) {
+  constexpr std::size_t kTile = 32;
+  std::size_t o0 = 0;
+  for (; o0 + kTile <= out; o0 += kTile) {
+    double acc[kTile];
+    for (std::size_t j = 0; j < kTile; ++j) acc[j] = bg[o0 + j];
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* gb = g + b * out + o0;
+      for (std::size_t j = 0; j < kTile; ++j) acc[j] += gb[j];
+    }
+    for (std::size_t j = 0; j < kTile; ++j) bg[o0 + j] = acc[j];
+  }
+  for (; o0 < out; ++o0) {
+    double sum = bg[o0];
+    for (std::size_t b = 0; b < batch; ++b) sum += g[b * out + o0];
+    bg[o0] = sum;
+  }
+  for (std::size_t o = 0; o < out; ++o) {
+    double* wgo = wg + o * in;
+    std::size_t i0 = 0;
+    for (; i0 + kTile <= in; i0 += kTile) {
+      double acc[kTile];
+      for (std::size_t j = 0; j < kTile; ++j) acc[j] = wgo[i0 + j];
+      for (std::size_t b = 0; b < batch; ++b) {
+        const double gbo = g[b * out + o];
+        const double* xb = x + b * in + i0;
+        for (std::size_t j = 0; j < kTile; ++j) acc[j] += gbo * xb[j];
+      }
+      for (std::size_t j = 0; j < kTile; ++j) wgo[i0 + j] = acc[j];
+    }
+    for (; i0 < in; ++i0) {
+      double sum = wgo[i0];
+      for (std::size_t b = 0; b < batch; ++b)
+        sum += g[b * out + o] * x[b * in + i0];
+      wgo[i0] = sum;
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    const double* gb = g + b * out;
+    double* gxb = gx + b * in;
+    std::size_t i0 = 0;
+    for (; i0 + kTile <= in; i0 += kTile) {
+      double acc[kTile];
+      for (std::size_t j = 0; j < kTile; ++j) acc[j] = 0.0;
+      for (std::size_t o = 0; o < out; ++o) {
+        const double go = gb[o];
+        const double* wo = w + o * in + i0;
+        for (std::size_t j = 0; j < kTile; ++j) acc[j] += go * wo[j];
+      }
+      for (std::size_t j = 0; j < kTile; ++j) gxb[i0 + j] = acc[j];
+    }
+    for (; i0 < in; ++i0) {
+      double sum = 0.0;
+      for (std::size_t o = 0; o < out; ++o) sum += gb[o] * w[o * in + i0];
+      gxb[i0] = sum;
+    }
+  }
+}
+
 }  // namespace
 
 Dense::Dense(std::size_t in, std::size_t out, util::Rng& rng)
@@ -116,6 +191,15 @@ void Dense::backward(std::span<const double> grad_out,
       grad_in[i] += g * weight_row[i];
     }
   }
+}
+
+void Dense::backward_batch(std::span<const double> in,
+                           std::span<const double> grad_out,
+                           std::span<double> grad_in, std::size_t batch) {
+  assert(in.size() == batch * in_ && grad_out.size() == batch * out_ &&
+         grad_in.size() == batch * in_);
+  dense_backward(params_.data(), in.data(), grad_out.data(), in_, out_, batch,
+                 grads_.data(), grads_.data() + bias_offset(), grad_in.data());
 }
 
 std::unique_ptr<Layer> Dense::clone() const {

@@ -21,6 +21,12 @@ class Dense final : public Layer {
   /// One GEMM over the whole batch (weight rows stay hot across rows).
   void forward_batch(std::span<const double> in, std::span<double> out,
                      std::size_t batch) override;
+  /// Fused batched backward: bias, weight, and input gradients in one pass,
+  /// SIMD across independent accumulators only — bit-identical to per-row
+  /// backward() calls in ascending row order (DESIGN.md §7).
+  void backward_batch(std::span<const double> in,
+                      std::span<const double> grad_out,
+                      std::span<double> grad_in, std::size_t batch) override;
 
   std::span<double> parameters() noexcept override { return params_; }
   std::span<const double> parameters() const noexcept override { return params_; }

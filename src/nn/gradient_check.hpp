@@ -25,4 +25,15 @@ GradientCheckResult check_gradients(
     const std::function<std::vector<double>(std::span<const double>)>& loss_grad,
     double epsilon = 1e-6, std::size_t max_params = 256);
 
+/// Batched variant: `inputs` is `batch` rows of net.input_size() and the
+/// total loss is the SUM of `loss` over the output rows. The analytic
+/// gradients come from one forward_batch_train() + backward_batch() pass,
+/// so this verifies the fused batched backward path end to end against
+/// central differences. `loss` / `loss_grad` see one output row at a time.
+GradientCheckResult check_gradients_batch(
+    Network& net, std::span<const double> inputs, std::size_t batch,
+    const std::function<double(std::span<const double>)>& loss,
+    const std::function<std::vector<double>(std::span<const double>)>& loss_grad,
+    double epsilon = 1e-6, std::size_t max_params = 256);
+
 }  // namespace minicost::nn

@@ -20,6 +20,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -54,6 +55,29 @@ class Layer {
     for (std::size_t b = 0; b < batch; ++b) {
       forward(in.subspan(b * in_width, in_width),
               out.subspan(b * out_width, out_width));
+    }
+  }
+
+  /// Batched training backward: `in` holds the same `batch` rows this layer
+  /// consumed on the way forward, `grad_out` holds `batch` rows of
+  /// dL/d(out). Accumulates parameter gradients and writes `grad_in`
+  /// (`batch` rows of input_size()), bit-identical to running
+  /// forward(row); backward(row) per row in ascending row order — batching
+  /// eliminates recomputation, it never reorders a single accumulator's
+  /// floating-point operations (DESIGN.md §7). Does not depend on cached
+  /// forward() state (the input rows are passed in), but may clobber it.
+  /// The default replays the scalar path; parameterized layers override it
+  /// with fused whole-batch kernels.
+  virtual void backward_batch(std::span<const double> in,
+                              std::span<const double> grad_out,
+                              std::span<double> grad_in, std::size_t batch) {
+    const std::size_t in_width = input_size();
+    const std::size_t out_width = output_size();
+    std::vector<double> out_scratch(out_width);
+    for (std::size_t b = 0; b < batch; ++b) {
+      forward(in.subspan(b * in_width, in_width), out_scratch);
+      backward(grad_out.subspan(b * out_width, out_width),
+               grad_in.subspan(b * in_width, in_width));
     }
   }
 

@@ -85,6 +85,47 @@ std::vector<double> Network::backward(std::span<const double> grad_output) {
   return grad;
 }
 
+std::vector<double> Network::forward_batch_train(std::span<const double> input,
+                                                 std::size_t batch) {
+  if (layers_.empty())
+    return std::vector<double>(input.begin(), input.end());
+  if (input.size() != batch * input_size())
+    throw std::invalid_argument(
+        "Network::forward_batch_train: input size mismatch");
+  // Unlike the inference ping-pong, every layer's input batch is kept: it
+  // is exactly the state backward_batch() needs (layers receive their rows
+  // explicitly instead of relying on single-sample caches). Buffers persist
+  // across calls, so steady-state training does not reallocate.
+  train_acts_.resize(layers_.size() + 1);
+  train_acts_[0].assign(input.begin(), input.end());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    train_acts_[i + 1].resize(batch * layers_[i]->output_size());
+    layers_[i]->forward_batch(train_acts_[i], train_acts_[i + 1], batch);
+  }
+  train_batch_ = batch;
+  return train_acts_.back();
+}
+
+std::vector<double> Network::backward_batch(std::span<const double> grad_output,
+                                            std::size_t batch) {
+  if (layers_.empty())
+    return std::vector<double>(grad_output.begin(), grad_output.end());
+  if (batch == 0 || batch != train_batch_ ||
+      train_acts_.size() != layers_.size() + 1)
+    throw std::logic_error(
+        "Network::backward_batch: no matching forward_batch_train");
+  if (grad_output.size() != batch * output_size())
+    throw std::invalid_argument(
+        "Network::backward_batch: gradient size mismatch");
+  grad_back_.assign(grad_output.begin(), grad_output.end());
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad_front_.resize(batch * layers_[i]->input_size());
+    layers_[i]->backward_batch(train_acts_[i], grad_back_, grad_front_, batch);
+    std::swap(grad_front_, grad_back_);
+  }
+  return std::vector<double>(grad_back_.begin(), grad_back_.end());
+}
+
 std::size_t Network::parameter_count() const noexcept {
   std::size_t count = 0;
   for (const auto& layer : layers_) count += layer->parameters().size();

@@ -43,6 +43,21 @@ class Network {
   /// layer; returns dL/d(input). Must follow a forward() call.
   std::vector<double> backward(std::span<const double> grad_output);
 
+  /// Training-mode batched forward: same rows as forward_batch() (each
+  /// bit-identical to forward() on the matching input row), but retains
+  /// every layer's input batch so backward_batch() can follow. Not
+  /// thread-safe; clone per thread.
+  std::vector<double> forward_batch_train(std::span<const double> input,
+                                          std::size_t batch);
+
+  /// Batched backward after forward_batch_train(): `grad_output` holds
+  /// `batch` rows of dL/d(output). Accumulates parameter gradients
+  /// bit-identical to running forward() + backward() per row in ascending
+  /// row order (DESIGN.md §7) and returns the dL/d(input) rows. Throws
+  /// std::logic_error without a matching forward_batch_train().
+  std::vector<double> backward_batch(std::span<const double> grad_output,
+                                     std::size_t batch);
+
   /// Total number of trainable parameters.
   std::size_t parameter_count() const noexcept;
 
@@ -64,6 +79,9 @@ class Network {
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<std::vector<double>> activations_;          // forward scratch
   std::vector<double> batch_front_, batch_back_;          // forward_batch scratch
+  std::vector<std::vector<double>> train_acts_;           // per-layer input batches
+  std::size_t train_batch_ = 0;                           // rows in train_acts_
+  std::vector<double> grad_front_, grad_back_;            // backward_batch scratch
 };
 
 /// Builds the MiniCost network trunk (paper Sec. 6.1): the request-history

@@ -78,5 +78,46 @@ TEST(GradientCheckTest, StrideSamplingBoundsWork) {
   EXPECT_LT(result.max_rel_error, 1e-4);
 }
 
+TEST(GradientCheckBatchTest, DenseNetworkAtIssueBatchSizes) {
+  for (const std::size_t batch : {1u, 2u, 14u, 64u}) {
+    util::Rng rng(11);
+    Network net;
+    net.add(std::make_unique<Dense>(5, 7, rng));
+    net.add(std::make_unique<Relu>(7));
+    net.add(std::make_unique<Dense>(7, 2, rng));
+    auto result =
+        check_gradients_batch(net, random_input(batch * 5, 12 + batch), batch,
+                              kSquaredLoss, kSquaredLossGrad);
+    EXPECT_LT(result.max_rel_error, 1e-4) << "batch=" << batch;
+    EXPECT_GT(result.checked, 0u);
+  }
+}
+
+TEST(GradientCheckBatchTest, ConvTrunkAtIssueBatchSizes) {
+  for (const std::size_t batch : {1u, 2u, 14u, 64u}) {
+    util::Rng rng(13);
+    Network net = build_trunk(14, 12, 8, 4, 16, 3, rng);
+    auto result =
+        check_gradients_batch(net, random_input(batch * 26, 14 + batch), batch,
+                              kSquaredLoss, kSquaredLossGrad, 1e-6, 128);
+    EXPECT_LT(result.max_rel_error, 1e-4) << "batch=" << batch;
+    EXPECT_GT(result.checked, 0u);
+  }
+}
+
+TEST(GradientCheckBatchTest, AgreesWithScalarCheckOnSameNetwork) {
+  // At batch == 1 the batched path must produce the same analytic
+  // gradients the scalar path produced, so both checks converge.
+  util::Rng rng(15);
+  Network net = build_trunk(14, 12, 8, 4, 16, 3, rng);
+  const auto input = random_input(26, 16);
+  auto scalar = check_gradients(net, input, kSquaredLoss, kSquaredLossGrad);
+  auto batched = check_gradients_batch(net, input, 1, kSquaredLoss,
+                                       kSquaredLossGrad);
+  EXPECT_LT(scalar.max_rel_error, 1e-4);
+  EXPECT_LT(batched.max_rel_error, 1e-4);
+  EXPECT_EQ(scalar.checked, batched.checked);
+}
+
 }  // namespace
 }  // namespace minicost::nn

@@ -207,5 +207,86 @@ TEST(Conv1DTest, SpecDescribesGeometry) {
   EXPECT_EQ(Conv1DOverPrefix(26, 14, 32, 4, rng).spec(), "conv1d 26 14 32 4");
 }
 
+// Reference semantics for backward_batch: `batch` sequential scalar
+// forward()+backward() calls in ascending row order. Runs both paths on
+// layers with identical parameters and identically pre-seeded gradient
+// accumulators (so accumulate-don't-overwrite is pinned too) and demands
+// 0-ULP equality of every parameter gradient and every input-gradient row
+// (EXPECT_EQ on doubles, per DESIGN.md §7).
+void ExpectBackwardBatchBitIdentical(Layer& batched, Layer& scalar,
+                                     std::size_t batch, std::uint64_t seed) {
+  const std::size_t in_w = batched.input_size();
+  const std::size_t out_w = batched.output_size();
+  util::Rng data(seed);
+  std::vector<double> in(batch * in_w), grad_out(batch * out_w);
+  for (double& v : in) v = data.normal(0.0, 1.5);
+  for (double& v : grad_out) v = data.uniform(-2.0, 2.0);
+  {
+    auto ga = batched.gradients();
+    auto gb = scalar.gradients();
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      const double g0 = data.uniform(-0.5, 0.5);
+      ga[i] = g0;
+      gb[i] = g0;
+    }
+  }
+  std::vector<double> grad_in_batched(batch * in_w);
+  batched.backward_batch(in, grad_out, grad_in_batched, batch);
+  std::vector<double> out_scratch(out_w), grad_in_row(in_w);
+  for (std::size_t b = 0; b < batch; ++b) {
+    scalar.forward(std::span<const double>(in.data() + b * in_w, in_w),
+                   out_scratch);
+    scalar.backward(std::span<const double>(grad_out.data() + b * out_w, out_w),
+                    grad_in_row);
+    for (std::size_t i = 0; i < in_w; ++i)
+      EXPECT_EQ(grad_in_batched[b * in_w + i], grad_in_row[i])
+          << "batch " << batch << " row " << b << " input " << i;
+  }
+  auto ga = batched.gradients();
+  auto gb = scalar.gradients();
+  for (std::size_t i = 0; i < ga.size(); ++i)
+    EXPECT_EQ(ga[i], gb[i]) << "batch " << batch << " grad " << i;
+}
+
+TEST(DenseTest, BackwardBatchBitIdenticalToSequentialScalar) {
+  // 70x37 exercises the 32-wide register tiles plus both tail loops.
+  for (const std::size_t batch : {1, 2, 14, 64}) {
+    util::Rng rng_a(20), rng_b(20);
+    Dense batched(70, 37, rng_a);
+    Dense scalar(70, 37, rng_b);
+    ExpectBackwardBatchBitIdentical(batched, scalar, batch, 100 + batch);
+  }
+}
+
+TEST(Conv1DTest, BackwardBatchBitIdenticalToSequentialScalar) {
+  // 37 filters exercise the 16-wide tiles plus tails; 12 aux features pin
+  // the passthrough-gradient rows.
+  for (const std::size_t batch : {1, 2, 14, 64}) {
+    util::Rng rng_a(21), rng_b(21);
+    Conv1DOverPrefix batched(26, 14, 37, 4, rng_a);
+    Conv1DOverPrefix scalar(26, 14, 37, 4, rng_b);
+    ExpectBackwardBatchBitIdentical(batched, scalar, batch, 200 + batch);
+  }
+}
+
+TEST(Conv1DTest, BackwardBatchBitIdenticalSmallGeometry) {
+  for (const std::size_t batch : {1, 2, 14, 64}) {
+    util::Rng rng_a(22), rng_b(22);
+    Conv1DOverPrefix batched(8, 6, 2, 3, rng_a);
+    Conv1DOverPrefix scalar(8, 6, 2, 3, rng_b);
+    ExpectBackwardBatchBitIdentical(batched, scalar, batch, 300 + batch);
+  }
+}
+
+TEST(ActivationTest, BackwardBatchBitIdenticalToSequentialScalar) {
+  Relu relu(5);
+  Relu relu_ref(5);
+  ExpectBackwardBatchBitIdentical(relu, relu_ref, 14, 400);
+  Tanh tanh_layer(5);
+  Tanh tanh_ref(5);
+  ExpectBackwardBatchBitIdentical(tanh_layer, tanh_ref, 14, 401);
+}
+
 }  // namespace
 }  // namespace minicost::nn

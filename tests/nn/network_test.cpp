@@ -154,6 +154,104 @@ TEST(NetworkTest, ForwardBatchValidatesInputSize) {
                std::invalid_argument);
 }
 
+TEST(NetworkTest, ForwardBatchTrainMatchesPerRowForwardExactly) {
+  util::Rng rng(18);
+  Network net = build_trunk(14, 12, 16, 4, 16, 3, rng);
+  util::Rng data(19);
+  const std::size_t batch = 5;
+  std::vector<double> input(batch * net.input_size());
+  for (double& v : input) v = data.uniform(-1.0, 1.0);
+  const auto batched = net.forward_batch_train(input, batch);
+  ASSERT_EQ(batched.size(), batch * net.output_size());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::vector<double> row(
+        input.begin() + static_cast<std::ptrdiff_t>(b * net.input_size()),
+        input.begin() + static_cast<std::ptrdiff_t>((b + 1) * net.input_size()));
+    const auto expected = net.forward(row);
+    for (std::size_t o = 0; o < expected.size(); ++o)
+      EXPECT_EQ(batched[b * net.output_size() + o], expected[o]);
+  }
+}
+
+TEST(NetworkTest, BackwardBatchBitIdenticalToSequentialScalar) {
+  // Full conv trunk (the actor/critic architecture). The batched pass must
+  // accumulate exactly the gradients of per-row forward()+backward() calls
+  // in ascending row order, 0 ULP, and return identical input-grad rows.
+  for (const std::size_t batch : {1u, 2u, 14u, 64u}) {
+    util::Rng rng_a(23), rng_b(23);
+    Network batched = build_trunk(14, 12, 16, 4, 16, 3, rng_a);
+    Network scalar = build_trunk(14, 12, 16, 4, 16, 3, rng_b);
+    util::Rng data(500 + batch);
+    std::vector<double> input(batch * batched.input_size());
+    std::vector<double> grad_rows(batch * batched.output_size());
+    for (double& v : input) v = data.normal(0.0, 1.0);
+    for (double& v : grad_rows) v = data.uniform(-1.0, 1.0);
+
+    batched.forward_batch_train(input, batch);
+    const auto grad_in_batched = batched.backward_batch(grad_rows, batch);
+    const auto grads_batched = batched.collect_gradients(/*zero_after=*/true);
+
+    std::vector<double> grad_in_scalar;
+    const std::size_t in_w = scalar.input_size();
+    const std::size_t out_w = scalar.output_size();
+    for (std::size_t b = 0; b < batch; ++b) {
+      scalar.forward(std::span<const double>(input.data() + b * in_w, in_w));
+      const auto row_grad_in = scalar.backward(std::span<const double>(
+          grad_rows.data() + b * out_w, out_w));
+      grad_in_scalar.insert(grad_in_scalar.end(), row_grad_in.begin(),
+                            row_grad_in.end());
+    }
+    const auto grads_scalar = scalar.collect_gradients(/*zero_after=*/true);
+
+    ASSERT_EQ(grads_batched.size(), grads_scalar.size());
+    for (std::size_t i = 0; i < grads_batched.size(); ++i)
+      EXPECT_EQ(grads_batched[i], grads_scalar[i])
+          << "batch=" << batch << " grad " << i;
+    ASSERT_EQ(grad_in_batched.size(), grad_in_scalar.size());
+    for (std::size_t i = 0; i < grad_in_batched.size(); ++i)
+      EXPECT_EQ(grad_in_batched[i], grad_in_scalar[i])
+          << "batch=" << batch << " grad_in " << i;
+  }
+}
+
+TEST(NetworkTest, BackwardBatchAccumulatesAcrossCalls) {
+  // Two batched passes must accumulate exactly like four sequential scalar
+  // forward()+backward() rounds (accumulators are never reset in between).
+  util::Rng rng_a(24), rng_b(24);
+  Network batched = tiny_net(rng_a);
+  Network scalar = tiny_net(rng_b);
+  const std::size_t batch = 2;
+  util::Rng data(25);
+  std::vector<double> input(batch * batched.input_size());
+  std::vector<double> grad_rows(batch * batched.output_size(), 1.0);
+  for (double& v : input) v = data.normal(0.0, 1.0);
+
+  for (int pass = 0; pass < 2; ++pass) {
+    batched.forward_batch_train(input, batch);
+    batched.backward_batch(grad_rows, batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      scalar.forward(std::span<const double>(
+          input.data() + b * scalar.input_size(), scalar.input_size()));
+      scalar.backward(std::span<const double>(
+          grad_rows.data() + b * scalar.output_size(), scalar.output_size()));
+    }
+  }
+  const auto got = batched.collect_gradients(/*zero_after=*/true);
+  const auto want = scalar.collect_gradients(/*zero_after=*/true);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], want[i]);
+}
+
+TEST(NetworkTest, BackwardBatchRequiresMatchingForward) {
+  util::Rng rng(26);
+  Network net = tiny_net(rng);
+  std::vector<double> grad_rows(2 * net.output_size(), 1.0);
+  EXPECT_THROW(net.backward_batch(grad_rows, 2), std::logic_error);
+  std::vector<double> input(3 * net.input_size(), 0.5);
+  net.forward_batch_train(input, 3);
+  EXPECT_THROW(net.backward_batch(grad_rows, 2), std::logic_error);
+}
+
 TEST(BuildTrunkTest, MatchesPaperArchitectureShapes) {
   util::Rng rng(10);
   // 14-day history + 12 aux, 128 filters of 4, 128 hidden (paper Sec. 6.1),
