@@ -84,4 +84,40 @@ void clip_by_global_norm(std::span<double> values, double max_norm) noexcept {
   for (double& value : values) value *= scale;
 }
 
+void policy_entropy_grad_rows(std::span<const double> probs, std::size_t rows,
+                              std::span<const std::size_t> chosen,
+                              std::span<const double> advantages, double beta,
+                              double inv_n, std::span<double> grad) {
+  if (rows == 0) return;
+  if (probs.size() != grad.size() || probs.size() % rows != 0)
+    throw std::invalid_argument(
+        "policy_entropy_grad_rows: buffer size not rows*width");
+  if (chosen.size() != rows || advantages.size() != rows)
+    throw std::invalid_argument(
+        "policy_entropy_grad_rows: per-row span size mismatch");
+  const std::size_t width = probs.size() / rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* pi = probs.data() + r * width;
+    double* g = grad.data() + r * width;
+    const double advantage = advantages[r];
+    const std::size_t action = chosen[r];
+    const double h = entropy(std::span<const double>(pi, width));
+    for (std::size_t a = 0; a < width; ++a) {
+      // Same expressions, same order, as the per-step scalar loss.
+      const double pg = (pi[a] - (a == action ? 1.0 : 0.0)) * advantage;
+      const double ent = beta * pi[a] * (std::log(std::max(pi[a], 1e-12)) + h);
+      g[a] = (pg + ent) * inv_n;
+    }
+  }
+}
+
+void mse_grad_rows(std::span<const double> values,
+                   std::span<const double> targets, double inv_n,
+                   std::span<double> grad) {
+  if (values.size() != targets.size() || values.size() != grad.size())
+    throw std::invalid_argument("mse_grad_rows: span size mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i)
+    grad[i] = 2.0 * (values[i] - targets[i]) * inv_n;
+}
+
 }  // namespace minicost::nn

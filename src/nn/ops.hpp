@@ -34,4 +34,26 @@ double l2_norm(std::span<const double> values) noexcept;
 /// norm clipping). No-op if already within bounds or max_norm <= 0.
 void clip_by_global_norm(std::span<double> values, double max_norm) noexcept;
 
+/// Fused A3C actor loss gradient over `rows` probability rows (the
+/// softmax_rows output of the episode's logit block). For row r with
+/// probabilities p and chosen action c = chosen[r]:
+///   grad[r][a] = ((p[a] - 1{a==c}) * advantages[r]
+///                 + beta * p[a] * (log(max(p[a], 1e-12)) + H(p))) * inv_n
+/// — the per-step policy-gradient + entropy expressions, evaluated in the
+/// same operation order, so the block is bit-identical to computing each
+/// row separately. `advantages` must already be centered. `probs` and
+/// `grad` are rows*width row-major; `chosen`/`advantages` have one entry
+/// per row. Throws std::invalid_argument on size mismatch.
+void policy_entropy_grad_rows(std::span<const double> probs, std::size_t rows,
+                              std::span<const std::size_t> chosen,
+                              std::span<const double> advantages, double beta,
+                              double inv_n, std::span<double> grad);
+
+/// Fused MSE gradient rows: grad[i] = 2.0 * (values[i] - targets[i]) * inv_n
+/// — the critic's per-step value-regression gradient, same expression
+/// order as the scalar path. Throws std::invalid_argument on size mismatch.
+void mse_grad_rows(std::span<const double> values,
+                   std::span<const double> targets, double inv_n,
+                   std::span<double> grad);
+
 }  // namespace minicost::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/kernel_dispatch.hpp"
+
 namespace minicost::nn {
 namespace {
 
@@ -15,16 +17,52 @@ void check_sizes(std::span<double> params, std::span<const double> grads,
     throw std::invalid_argument("Optimizer::step: parameter count changed");
 }
 
+// In-place update kernels. Each parameter's update is elementwise —
+// independent of every other parameter's — so vectorizing across i keeps
+// each element's operation sequence unchanged and the results bit-identical
+// to the scalar loop on every dispatch tier (DESIGN.md §7).
+
+MINICOST_TARGET_CLONES
+void sgd_step_kernel(double* params, const double* grads, double* velocity,
+                     std::size_t n, double lr, double momentum) {
+  for (std::size_t i = 0; i < n; ++i) {
+    velocity[i] = momentum * velocity[i] - lr * grads[i];
+    params[i] += velocity[i];
+  }
+}
+
+MINICOST_TARGET_CLONES
+void rmsprop_step_kernel(double* params, const double* grads,
+                         double* mean_square, std::size_t n, double lr,
+                         double decay, double epsilon) {
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_square[i] = decay * mean_square[i] + (1.0 - decay) * grads[i] * grads[i];
+    params[i] -= lr * grads[i] / (std::sqrt(mean_square[i]) + epsilon);
+  }
+}
+
+MINICOST_TARGET_CLONES
+void adam_step_kernel(double* params, const double* grads, double* m,
+                      double* v, std::size_t n, double lr, double beta1,
+                      double beta2, double epsilon, double correction1,
+                      double correction2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0 - beta1) * grads[i];
+    v[i] = beta2 * v[i] + (1.0 - beta2) * grads[i] * grads[i];
+    const double m_hat = m[i] / correction1;
+    const double v_hat = v[i] / correction2;
+    params[i] -= lr * m_hat / (std::sqrt(v_hat) + epsilon);
+  }
+}
+
 }  // namespace
 
 Sgd::Sgd(double lr, double momentum) : Optimizer(lr), momentum_(momentum) {}
 
 void Sgd::step(std::span<double> params, std::span<const double> grads) {
   check_sizes(params, grads, velocity_);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    velocity_[i] = momentum_ * velocity_[i] - lr_ * grads[i];
-    params[i] += velocity_[i];
-  }
+  sgd_step_kernel(params.data(), grads.data(), velocity_.data(), params.size(),
+                  lr_, momentum_);
 }
 
 RmsProp::RmsProp(double lr, double decay, double epsilon)
@@ -32,11 +70,8 @@ RmsProp::RmsProp(double lr, double decay, double epsilon)
 
 void RmsProp::step(std::span<double> params, std::span<const double> grads) {
   check_sizes(params, grads, mean_square_);
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    mean_square_[i] =
-        decay_ * mean_square_[i] + (1.0 - decay_) * grads[i] * grads[i];
-    params[i] -= lr_ * grads[i] / (std::sqrt(mean_square_[i]) + epsilon_);
-  }
+  rmsprop_step_kernel(params.data(), grads.data(), mean_square_.data(),
+                      params.size(), lr_, decay_, epsilon_);
 }
 
 Adam::Adam(double lr, double beta1, double beta2, double epsilon)
@@ -48,13 +83,9 @@ void Adam::step(std::span<double> params, std::span<const double> grads) {
   ++t_;
   const double correction1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   const double correction2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
-  for (std::size_t i = 0; i < params.size(); ++i) {
-    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grads[i];
-    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grads[i] * grads[i];
-    const double m_hat = m_[i] / correction1;
-    const double v_hat = v_[i] / correction2;
-    params[i] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
-  }
+  adam_step_kernel(params.data(), grads.data(), m_.data(), v_.data(),
+                   params.size(), lr_, beta1_, beta2_, epsilon_, correction1,
+                   correction2);
 }
 
 }  // namespace minicost::nn

@@ -1,6 +1,7 @@
 #include "rl/a3c.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -43,6 +44,13 @@ std::unique_ptr<nn::Optimizer> make_optimizer(const A3CConfig& config) {
   return std::make_unique<nn::Sgd>(config.learning_rate, config.momentum);
 }
 
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 A3CAgent::A3CAgent(A3CConfig config, std::uint64_t seed)
@@ -62,6 +70,21 @@ A3CAgent::A3CAgent(A3CConfig config, std::uint64_t seed)
   util::Rng init_rng = seed_rng_.fork(0);
   actor_ = make_actor(config_, featurizer_, init_rng);
   critic_ = make_critic(config_, featurizer_, init_rng);
+  util::MutexLock lock(param_mutex_);
+  reset_shared_from_networks_locked();
+}
+
+void A3CAgent::refresh_networks_locked() {
+  if (net_sync_version_ == param_version_) return;
+  actor_.load_parameters(actor_flat_);
+  critic_.load_parameters(critic_flat_);
+  net_sync_version_ = param_version_;
+}
+
+void A3CAgent::reset_shared_from_networks_locked() {
+  actor_flat_ = actor_.snapshot_parameters();
+  critic_flat_ = critic_.snapshot_parameters();
+  net_sync_version_ = param_version_;
 }
 
 A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
@@ -71,22 +94,29 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
                                                std::size_t start_day,
                                                std::size_t end_day,
                                                util::Rng& rng) {
-  // Sync local nets from the shared parameters.
+  // Sync local nets from the shared parameters. The flats are the
+  // authoritative state, so the critical section is two straight copies —
+  // no snapshot_parameters() round-trip allocating under the lock.
   {
     util::MutexLock lock(param_mutex_);
-    actor.load_parameters(actor_.snapshot_parameters());
-    critic.load_parameters(critic_.snapshot_parameters());
+    actor.load_parameters(actor_flat_);
+    critic.load_parameters(critic_flat_);
   }
   actor.zero_gradients();
   critic.zero_gradients();
 
   struct Step {
-    std::vector<double> state;
     Action action = 0;
     double reward = 0.0;
   };
   std::vector<Step> steps;
   steps.reserve(config_.episode_len);
+  // Episode states, stored as one flat T x feature_count row-major block so
+  // the update phase can run a single forward_batch/backward_batch per
+  // network over the whole episode.
+  const std::size_t width = featurizer_.feature_count();
+  std::vector<double> states;
+  states.reserve(config_.episode_len * width);
   // Rollout logits, cached per step (T x kActionCount, row-major). Weights
   // are frozen within an episode, so the update phase can reuse these
   // instead of re-forwarding the actor for its output — the re-forward
@@ -102,33 +132,37 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
           : config_.initial_tier;
   std::vector<double> state = env.reset(file, start_tier, start_day, end_day);
 
-  bool done = false;
-  bool exploring = false;
-  Action held_action = 0;
-  const double hold_stop_p =
-      config_.epsilon_hold_mean > 0.0 ? 1.0 / config_.epsilon_hold_mean : 1.0;
-  while (!done) {
-    const std::vector<double> logits = actor.forward(state);
-    rollout_logits.insert(rollout_logits.end(), logits.begin(), logits.end());
-    const std::vector<double> pi = nn::softmax(logits);
-    Action action;
-    if (exploring && !rng.bernoulli(hold_stop_p)) {
-      action = held_action;  // sticky exploration continues
-    } else if (rng.bernoulli(config_.epsilon)) {
-      exploring = true;
-      held_action = static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
-      action = held_action;
-    } else {
-      exploring = false;
-      action = rng.weighted_index(pi);
+  {
+    MC_OBS_SCOPE("rl.a3c.rollout");
+    bool done = false;
+    bool exploring = false;
+    Action held_action = 0;
+    const double hold_stop_p =
+        config_.epsilon_hold_mean > 0.0 ? 1.0 / config_.epsilon_hold_mean : 1.0;
+    while (!done) {
+      const std::vector<double> logits = actor.forward(state);
+      rollout_logits.insert(rollout_logits.end(), logits.begin(), logits.end());
+      const std::vector<double> pi = nn::softmax(logits);
+      Action action;
+      if (exploring && !rng.bernoulli(hold_stop_p)) {
+        action = held_action;  // sticky exploration continues
+      } else if (rng.bernoulli(config_.epsilon)) {
+        exploring = true;
+        held_action = static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
+        action = held_action;
+      } else {
+        exploring = false;
+        action = rng.weighted_index(pi);
+      }
+      StepResult step = env.step(action);
+      states.insert(states.end(), state.begin(), state.end());
+      steps.push_back({action, step.reward});
+      outcome.reward_sum += step.reward;
+      outcome.cost_sum += step.cost;
+      ++outcome.steps;
+      done = step.done;
+      state = std::move(step.state);
     }
-    StepResult step = env.step(action);
-    steps.push_back({std::move(state), action, step.reward});
-    outcome.reward_sum += step.reward;
-    outcome.cost_sum += step.cost;
-    ++outcome.steps;
-    done = step.done;
-    state = std::move(step.state);
   }
 
   // n-step returns over the whole episode (terminal bootstrap = 0: the
@@ -140,83 +174,135 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
     returns[i] = ret;
   }
 
-  // Critic pass: one forward per step feeds both the advantage and the
-  // value-regression gradient (the critic descends (V - R)^2, averaged over
-  // the episode). Weights are frozen within the episode, so a second
-  // forward before backward() would recompute the exact same activations.
-  //
-  // Advantages are centered per episode. Centering is load-bearing: the
-  // critic is trained on *behavior-policy* returns, which include the cost
-  // of ε-exploration, so raw advantages of on-policy actions carry a small
-  // persistent positive bias — a ratchet that saturates whichever action
-  // currently dominates. Removing the episode mean leaves only the relative
-  // signal between actions, which is what the policy gradient needs.
-  const double inv_n = 1.0 / static_cast<double>(steps.size());
-  std::vector<double> advantages(steps.size());
-  double advantage_mean = 0.0;
-  for (std::size_t i = 0; i < steps.size(); ++i) {
-    const std::vector<double> v_out = critic.forward(steps[i].state);
-    advantages[i] = returns[i] - v_out[0];
-    advantage_mean += advantages[i];
-    const std::vector<double> grad_v{2.0 * (v_out[0] - returns[i]) * inv_n};
-    critic.backward(grad_v);
-  }
-  advantage_mean /= static_cast<double>(steps.size());
+  std::vector<double> actor_grads, critic_grads;
+  {
+    MC_OBS_SCOPE("rl.a3c.grad");
+    const std::size_t n = steps.size();
 
-  // Entropy weight with linear warmup (see A3CConfig), measured from the
-  // current initialization's start.
-  const std::size_t warmup_start = warmup_start_.load(std::memory_order_relaxed);
-  const std::size_t episodes_total = episodes_.load(std::memory_order_relaxed);
-  const std::size_t episodes_done =
-      episodes_total > warmup_start ? episodes_total - warmup_start : 0;
-  double beta = config_.entropy_beta;
-  if (config_.entropy_warmup_episodes > 0 &&
-      episodes_done < config_.entropy_warmup_episodes &&
-      config_.entropy_beta_initial > beta) {
-    const double progress = static_cast<double>(episodes_done) /
-                            static_cast<double>(config_.entropy_warmup_episodes);
-    beta = config_.entropy_beta_initial +
-           (config_.entropy_beta - config_.entropy_beta_initial) * progress;
-  }
-
-  // Actor pass: ascends log π(a|s)·A + β·H(π), averaged over the episode.
-  // The forward() only rebuilds the layer caches backward() consumes; its
-  // output is bit-identical to the cached rollout logits (same weights,
-  // same input), so the loss reads the cache instead of recomputing.
-  for (std::size_t i = 0; i < steps.size(); ++i) {
-    const double advantage = advantages[i] - advantage_mean;
-
-    actor.forward(steps[i].state);
-    const std::span<const double> logits(
-        rollout_logits.data() + i * kActionCount, kActionCount);
-    const std::vector<double> pi = nn::softmax(logits);
-    const double h = nn::entropy(pi);
-    std::vector<double> grad_logits(kActionCount);
-    for (std::size_t a = 0; a < kActionCount; ++a) {
-      // d(-log π(a*))/dz_a = π_a - 1{a = a*}; scaled by the advantage.
-      const double pg =
-          (pi[a] - (a == steps[i].action ? 1.0 : 0.0)) * advantage;
-      // Entropy ascent: dH/dz_a = -π_a (log π_a + H); descend its negative.
-      const double ent =
-          beta * pi[a] * (std::log(std::max(pi[a], 1e-12)) + h);
-      grad_logits[a] = (pg + ent) * inv_n;
+    // Critic pass: one forward per step feeds both the advantage and the
+    // value-regression gradient (the critic descends (V - R)^2, averaged
+    // over the episode). Weights are frozen within the episode, so a second
+    // forward before backward() would recompute the exact same activations.
+    //
+    // Advantages are centered per episode. Centering is load-bearing: the
+    // critic is trained on *behavior-policy* returns, which include the cost
+    // of ε-exploration, so raw advantages of on-policy actions carry a small
+    // persistent positive bias — a ratchet that saturates whichever action
+    // currently dominates. Removing the episode mean leaves only the
+    // relative signal between actions, which is what the policy gradient
+    // needs.
+    const double inv_n = 1.0 / static_cast<double>(n);
+    std::vector<double> advantages(n);
+    double advantage_mean = 0.0;
+    if (config_.batched_update) {
+      // One batched forward over the T stored states (critic output width is
+      // 1, so the output block *is* the value column), one fused gradient
+      // row block, one batched backward. Bit-identical to the scalar branch
+      // below by the DESIGN.md §7 contract.
+      const std::vector<double> values = critic.forward_batch_train(states, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        advantages[i] = returns[i] - values[i];
+        advantage_mean += advantages[i];
+      }
+      std::vector<double> grad_v(n);
+      nn::mse_grad_rows(values, returns, inv_n, grad_v);
+      critic.backward_batch(grad_v, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::span<const double> s(states.data() + i * width, width);
+        const std::vector<double> v_out = critic.forward(s);
+        advantages[i] = returns[i] - v_out[0];
+        advantage_mean += advantages[i];
+        const std::vector<double> grad_v{2.0 * (v_out[0] - returns[i]) * inv_n};
+        critic.backward(grad_v);
+      }
     }
-    actor.backward(grad_logits);
-  }
+    advantage_mean /= static_cast<double>(n);
 
-  std::vector<double> actor_grads = actor.collect_gradients(/*zero_after=*/true);
-  std::vector<double> critic_grads = critic.collect_gradients(/*zero_after=*/true);
-  nn::clip_by_global_norm(actor_grads, config_.grad_clip_norm);
-  nn::clip_by_global_norm(critic_grads, config_.grad_clip_norm);
+    // Entropy weight with linear warmup (see A3CConfig), measured from the
+    // current initialization's start.
+    const std::size_t warmup_start =
+        warmup_start_.load(std::memory_order_relaxed);
+    const std::size_t episodes_total =
+        episodes_.load(std::memory_order_relaxed);
+    const std::size_t episodes_done =
+        episodes_total > warmup_start ? episodes_total - warmup_start : 0;
+    double beta = config_.entropy_beta;
+    if (config_.entropy_warmup_episodes > 0 &&
+        episodes_done < config_.entropy_warmup_episodes &&
+        config_.entropy_beta_initial > beta) {
+      const double progress =
+          static_cast<double>(episodes_done) /
+          static_cast<double>(config_.entropy_warmup_episodes);
+      beta = config_.entropy_beta_initial +
+             (config_.entropy_beta - config_.entropy_beta_initial) * progress;
+    }
+
+    // Actor pass: ascends log π(a|s)·A + β·H(π), averaged over the episode.
+    // The forward only rebuilds the layer caches backward consumes; its
+    // output is bit-identical to the cached rollout logits (same weights,
+    // same input), so the loss reads the cache instead of recomputing.
+    if (config_.batched_update) {
+      actor.forward_batch_train(states, n);
+      std::vector<double> probs(n * kActionCount);
+      nn::softmax_rows(rollout_logits, n, probs);
+      std::vector<double> centered(n);
+      std::vector<std::size_t> chosen(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        centered[i] = advantages[i] - advantage_mean;
+        chosen[i] = steps[i].action;
+      }
+      std::vector<double> grad_logits(n * kActionCount);
+      nn::policy_entropy_grad_rows(probs, n, chosen, centered, beta, inv_n,
+                                   grad_logits);
+      actor.backward_batch(grad_logits, n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double advantage = advantages[i] - advantage_mean;
+
+        actor.forward(std::span<const double>(states.data() + i * width, width));
+        const std::span<const double> logits(
+            rollout_logits.data() + i * kActionCount, kActionCount);
+        const std::vector<double> pi = nn::softmax(logits);
+        const double h = nn::entropy(pi);
+        std::vector<double> grad_logits(kActionCount);
+        for (std::size_t a = 0; a < kActionCount; ++a) {
+          // d(-log π(a*))/dz_a = π_a - 1{a = a*}; scaled by the advantage.
+          const double pg =
+              (pi[a] - (a == steps[i].action ? 1.0 : 0.0)) * advantage;
+          // Entropy ascent: dH/dz_a = -π_a (log π_a + H); descend its
+          // negative.
+          const double ent =
+              beta * pi[a] * (std::log(std::max(pi[a], 1e-12)) + h);
+          grad_logits[a] = (pg + ent) * inv_n;
+        }
+        actor.backward(grad_logits);
+      }
+    }
+
+    actor_grads = actor.collect_gradients(/*zero_after=*/true);
+    critic_grads = critic.collect_gradients(/*zero_after=*/true);
+    nn::clip_by_global_norm(actor_grads, config_.grad_clip_norm);
+    nn::clip_by_global_norm(critic_grads, config_.grad_clip_norm);
+  }
 
   {
+    MC_OBS_SCOPE("rl.a3c.opt_step");
+    // The lock-wait counter separates contention from optimizer math in run
+    // reports; the clock reads are skipped entirely when obs is disabled.
+    std::uint64_t wait_start = 0;
+    const bool timing = obs::enabled();
+    if (timing) wait_start = steady_now_ns();
     util::MutexLock lock(param_mutex_);
-    std::vector<double> shared_actor = actor_.snapshot_parameters();
-    actor_opt_->step(shared_actor, actor_grads);
-    actor_.load_parameters(shared_actor);
-    std::vector<double> shared_critic = critic_.snapshot_parameters();
-    critic_opt_->step(shared_critic, critic_grads);
-    critic_.load_parameters(shared_critic);
+    if (timing)
+      MC_OBS_COUNT("rl.a3c.opt_step.lock_wait_ns",
+                   steady_now_ns() - wait_start);
+    // The flats are authoritative, so the critical section is two in-place
+    // SIMD optimizer steps — no snapshot/load round-trip copies of the
+    // shared networks.
+    actor_opt_->step(actor_flat_, actor_grads);
+    critic_opt_->step(critic_flat_, critic_grads);
+    ++param_version_;
   }
   return outcome;
 }
@@ -290,6 +376,7 @@ void A3CAgent::train(const trace::RequestTrace& trace,
         critic_ = make_critic(config_, featurizer_, init);
         actor_opt_ = make_optimizer(config_);
         critic_opt_ = make_optimizer(config_);
+        reset_shared_from_networks_locked();
       }
       warmup_start_.store(episodes_.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
@@ -303,15 +390,16 @@ void A3CAgent::train(const trace::RequestTrace& trace,
       if (mean_reward > best_reward) {
         best_reward = mean_reward;
         util::MutexLock lock(param_mutex_);
-        best_actor = actor_.snapshot_parameters();
-        best_critic = critic_.snapshot_parameters();
+        best_actor = actor_flat_;
+        best_critic = critic_flat_;
       }
       remaining -= probe;
     }
     {
       util::MutexLock lock(param_mutex_);
-      actor_.load_parameters(best_actor);
-      critic_.load_parameters(best_critic);
+      actor_flat_ = best_actor;
+      critic_flat_ = best_critic;
+      ++param_version_;  // actor_/critic_ refresh lazily on the next read
       actor_opt_ = make_optimizer(config_);
       critic_opt_ = make_optimizer(config_);
     }
@@ -443,6 +531,7 @@ std::vector<Action> A3CAgent::act_batch(
   nn::Network actor;
   {
     util::MutexLock lock(param_mutex_);
+    refresh_networks_locked();
     actor = actor_;
   }
   const std::uint64_t act_stream = 0xAC7 + env_steps_.load(std::memory_order_relaxed);
@@ -503,20 +592,28 @@ std::vector<Action> A3CAgent::act_batch(
 std::vector<double> A3CAgent::policy_probabilities(
     std::span<const double> features) {
   util::MutexLock lock(param_mutex_);
+  refresh_networks_locked();
   return nn::softmax(actor_.forward(features));
 }
 
 double A3CAgent::value(std::span<const double> features) {
   util::MutexLock lock(param_mutex_);
+  refresh_networks_locked();
   return critic_.forward(features)[0];
 }
 
 void A3CAgent::save(const std::filesystem::path& path) const {
   util::MutexLock lock(param_mutex_);
+  // const method: materialize the flats into copies instead of refreshing
+  // the (possibly stale) member networks in place.
+  nn::Network actor = actor_;
+  nn::Network critic = critic_;
+  actor.load_parameters(actor_flat_);
+  critic.load_parameters(critic_flat_);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("A3CAgent::save: cannot open " + path.string());
-  nn::save_network(actor_, out);
-  nn::save_network(critic_, out);
+  nn::save_network(actor, out);
+  nn::save_network(critic, out);
 }
 
 void A3CAgent::load(const std::filesystem::path& path) {
@@ -530,6 +627,7 @@ void A3CAgent::load(const std::filesystem::path& path) {
     throw std::runtime_error("A3CAgent::load: architecture mismatch");
   actor_ = std::move(actor);
   critic_ = std::move(critic);
+  reset_shared_from_networks_locked();
 }
 
 std::size_t A3CAgent::parameter_count() const {

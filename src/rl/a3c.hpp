@@ -93,6 +93,13 @@ struct A3CConfig {
   // Episodes.
   std::size_t episode_len = 14;  ///< days per training episode
   std::size_t workers = 2;       ///< asynchronous workers (threads)
+  /// Run the per-episode update phase through the batched kernels: one
+  /// forward_batch/backward_batch over the episode's T stored states per
+  /// network plus fused loss-gradient rows, instead of 2T scalar passes.
+  /// Bit-identical to the scalar path by the DESIGN.md §7 contract (pinned
+  /// by test); the scalar path is kept as the reference implementation and
+  /// as the micro_train baseline.
+  bool batched_update = true;
   /// Sample training files proportionally to (0.2 + variability): the >80%
   /// near-stationary files (Fig. 2) need few samples to learn "stay put".
   bool sample_by_variability = true;
@@ -193,15 +200,32 @@ class A3CAgent {
                            std::size_t batch, std::uint64_t epoch,
                            std::size_t round);
 
+  /// Lazily re-materializes actor_/critic_ from the authoritative flat
+  /// parameter buffers if optimizer steps landed since the last refresh.
+  /// Must precede any read of the networks (act/value/save paths).
+  void refresh_networks_locked() MC_REQUIRES(param_mutex_);
+
+  /// Re-snapshots the flat buffers from actor_/critic_ after the networks
+  /// were assigned directly (construction, init racing, load()).
+  void reset_shared_from_networks_locked() MC_REQUIRES(param_mutex_);
+
   A3CConfig config_;
   Featurizer featurizer_;
 
-  // Shared parameter server (DESIGN.md §8): workers synchronize local nets
-  // from — and apply per-episode gradients to — actor_/critic_ strictly
-  // under param_mutex_; the optimizers' moment state lives with them.
+  // Shared parameter server (DESIGN.md §8): the authoritative learned state
+  // is the flat buffers actor_flat_/critic_flat_, guarded by param_mutex_.
+  // Workers synchronize local nets from the flats and the optimizers step
+  // them in place — no per-episode snapshot/load round-trip of the shared
+  // networks. actor_/critic_ are lazily-synced materializations for the
+  // act/value/serialization paths; param_version_ > net_sync_version_
+  // means they are stale (see refresh_networks_locked).
   mutable util::Mutex param_mutex_;
   nn::Network actor_ MC_GUARDED_BY(param_mutex_);
   nn::Network critic_ MC_GUARDED_BY(param_mutex_);
+  std::vector<double> actor_flat_ MC_GUARDED_BY(param_mutex_);
+  std::vector<double> critic_flat_ MC_GUARDED_BY(param_mutex_);
+  std::uint64_t param_version_ MC_GUARDED_BY(param_mutex_) = 0;
+  std::uint64_t net_sync_version_ MC_GUARDED_BY(param_mutex_) = 0;
   std::unique_ptr<nn::Optimizer> actor_opt_ MC_GUARDED_BY(param_mutex_);
   std::unique_ptr<nn::Optimizer> critic_opt_ MC_GUARDED_BY(param_mutex_);
 

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "trace/synthetic.hpp"
 #include "util/thread_pool.hpp"
 
@@ -212,6 +216,71 @@ TEST(A3CAgentTest, TrainValidatesTrace) {
   trace::RequestTrace empty;
   EXPECT_THROW(agent.train(empty, azure, TrainOptions{}),
                std::invalid_argument);
+}
+
+std::string train_and_serialize(bool batched, std::uint64_t seed,
+                                OptimizerKind optimizer) {
+  A3CConfig config = tiny_config();
+  config.batched_update = batched;
+  config.optimizer = optimizer;
+  A3CAgent agent(config, seed);
+  const trace::RequestTrace trace = small_trace();
+  TrainOptions options;
+  options.episodes = 200;
+  options.report_every = 200;
+  agent.train(trace, pricing::PricingPolicy::azure_2020(), options);
+  const auto path =
+      std::filesystem::temp_directory_path() /
+      ("minicost_agent_bi_" + std::to_string(::getpid()) +
+       (batched ? "_b" : "_s") + ".txt");
+  agent.save(path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  return bytes;
+}
+
+TEST(A3CAgentTest, BatchedUpdateIsByteIdenticalToScalarPath) {
+  // The batched update phase is pure recomputation elimination, not a math
+  // change: a fixed-seed single-worker run must land on byte-identical
+  // final parameters on every optimizer (DESIGN.md §7).
+  for (const OptimizerKind optimizer :
+       {OptimizerKind::kSgdMomentum, OptimizerKind::kRmsProp,
+        OptimizerKind::kAdam}) {
+    const std::string scalar = train_and_serialize(false, 17, optimizer);
+    const std::string batched = train_and_serialize(true, 17, optimizer);
+    ASSERT_FALSE(scalar.empty());
+    EXPECT_EQ(scalar, batched)
+        << "optimizer kind " << static_cast<int>(optimizer);
+  }
+}
+
+TEST(A3CAgentTest, TrainingRecordsPhaseTimers) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  A3CAgent agent(tiny_config(), 19);
+  const trace::RequestTrace trace = small_trace();
+  TrainOptions options;
+  options.episodes = 20;
+  options.report_every = 20;
+  agent.train(trace, pricing::PricingPolicy::azure_2020(), options);
+  obs::set_enabled(was_enabled);
+
+  const auto timers = obs::Registry::global().timers();
+  const auto timer_count = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& t : timers)
+      if (t.name == name) return t.stats.count;
+    return 0;
+  };
+  EXPECT_GT(timer_count("rl.a3c.rollout"), 0u);
+  EXPECT_GT(timer_count("rl.a3c.grad"), 0u);
+  EXPECT_GT(timer_count("rl.a3c.opt_step"), 0u);
+
+  bool found_lock_wait = false;
+  for (const auto& c : obs::Registry::global().counters())
+    if (c.name == "rl.a3c.opt_step.lock_wait_ns") found_lock_wait = true;
+  EXPECT_TRUE(found_lock_wait);
 }
 
 }  // namespace
