@@ -1,0 +1,119 @@
+// Training throughput: the scalar per-step A3C update path vs the batched
+// episode update (one forward_batch/backward_batch per network over the
+// episode, fused loss-gradient rows, in-place SIMD optimizer step). Two
+// numbers per path: episodes/second end to end, and nanoseconds per env
+// step spent in the update phase alone (the rl.a3c.grad + rl.a3c.opt_step
+// obs timers) — the phase the batching refactor is accountable for.
+//
+// Output is machine-readable JSON on stdout (one object), e.g.
+//   {"bench":"micro_train","episodes":1500, ...,
+//    "scalar_episodes_per_sec":...,"batched_episodes_per_sec":...,
+//    "scalar_update_step_ns":...,"batched_update_step_ns":...,
+//    "update_speedup":...}
+//
+// MINICOST_SCALE overrides the trace file count (default 2000);
+// MINICOST_SEED the trace/agent seed.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/metrics.hpp"
+#include "pricing/policy.hpp"
+#include "rl/a3c.hpp"
+#include "trace/synthetic.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace minicost;
+
+double timer_total_ns(std::string_view name) {
+  for (const auto& t : obs::Registry::global().timers())
+    if (t.name == name) return static_cast<double>(t.stats.total_ns);
+  return 0.0;
+}
+
+struct Measurement {
+  double seconds = 0.0;    ///< wall time for the whole train() call
+  double update_ns = 0.0;  ///< total ns in rl.a3c.grad + rl.a3c.opt_step
+  std::size_t env_steps = 0;
+};
+
+// Trains a fresh fixed-seed agent for `episodes` down one update path.
+// Single worker: the paths are byte-identical there, so both measurements
+// do exactly the same arithmetic work per episode.
+Measurement measure(bool batched, const trace::RequestTrace& trace,
+                    std::size_t episodes) {
+  rl::A3CConfig config;
+  config.workers = 1;
+  config.batched_update = batched;
+  rl::A3CAgent agent(config, util::bench_seed());
+
+  obs::Registry::global().reset();
+  rl::TrainOptions options;
+  options.episodes = episodes;
+  options.report_every = episodes;
+
+  Measurement m;
+  util::Stopwatch watch;
+  agent.train(trace, pricing::PricingPolicy::azure_2020(), options);
+  m.seconds = watch.seconds();
+  m.update_ns =
+      timer_total_ns("rl.a3c.grad") + timer_total_ns("rl.a3c.opt_step");
+  m.env_steps = agent.trained_steps();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const auto files = static_cast<std::size_t>(util::bench_scale(2000));
+  const std::size_t episodes = 1500;
+
+  trace::SyntheticConfig trace_config;
+  trace_config.file_count = files;
+  trace_config.days = 62;
+  trace_config.seed = util::bench_seed();
+  const trace::RequestTrace trace = trace::generate_synthetic(trace_config);
+
+  // The update-phase split comes from the obs phase timers.
+  obs::set_enabled(true);
+  const Measurement scalar = measure(/*batched=*/false, trace, episodes);
+  const Measurement batched = measure(/*batched=*/true, trace, episodes);
+
+  const double eps = static_cast<double>(episodes);
+  const double scalar_eps_sec = eps / scalar.seconds;
+  const double batched_eps_sec = eps / batched.seconds;
+  const double scalar_step_ns =
+      scalar.update_ns / static_cast<double>(scalar.env_steps);
+  const double batched_step_ns =
+      batched.update_ns / static_cast<double>(batched.env_steps);
+
+  std::printf(
+      "{\"bench\":\"micro_train\",\"files\":%zu,\"episodes\":%zu,"
+      "\"scalar_episodes_per_sec\":%.1f,\"batched_episodes_per_sec\":%.1f,"
+      "\"episodes_speedup\":%.2f,\"scalar_update_step_ns\":%.1f,"
+      "\"batched_update_step_ns\":%.1f,\"update_speedup\":%.2f}\n",
+      files, episodes, scalar_eps_sec, batched_eps_sec,
+      batched_eps_sec / scalar_eps_sec, scalar_step_ns, batched_step_ns,
+      scalar_step_ns / batched_step_ns);
+
+  // Run report for the CI perf gate: *_per_sec / *speedup gate as
+  // higher-is-better; the per-step *_ns pairs sit under bench_diff's
+  // --min-seconds floor on CI, so the speedup ratios carry the gate.
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("episodes", eps);
+  metrics.emplace_back("scalar_episodes_per_sec", scalar_eps_sec);
+  metrics.emplace_back("batched_episodes_per_sec", batched_eps_sec);
+  metrics.emplace_back("episodes_speedup", batched_eps_sec / scalar_eps_sec);
+  metrics.emplace_back("scalar_update_step_ns", scalar_step_ns);
+  metrics.emplace_back("batched_update_step_ns", batched_step_ns);
+  metrics.emplace_back("update_speedup", scalar_step_ns / batched_step_ns);
+  benchx::write_run_report("micro_train", metrics);
+  return 0;
+}

@@ -67,9 +67,15 @@ MINICOST_TARGET_CLONES void conv_wt_row_major(
 //    receive its window's contributions at ascending positions p = j - k,
 //    the scalar order; SIMD is across j (independent elements), and the
 //    conv region is zeroed first exactly like the scalar pass.
-// FP contraction is off for this translation unit, so all dispatch lanes
-// round identically.
-MINICOST_TARGET_CLONES void conv_backward(
+// `gx` may be null when the caller has no consumer for dL/d(in) (the conv
+// is the bottom layer); the whole input-gradient family is skipped then.
+// Unlike the other batch kernels this one is NOT target_clones'd: the conv
+// trip counts (pos ~ prefix - kernel + 1, kernel ~ 4) are too short for
+// wide vectors, and measured at the trunk geometry the avx512 clone runs
+// 2x slower and the avx2 clone 3.5x slower than what plain -O3 emits here.
+// FP contraction is off for this translation unit, so it still rounds
+// identically to the scalar pass.
+void conv_backward(
     const double* w, const double* gt, const double* g, const double* x,
     std::size_t input, std::size_t prefix, std::size_t filters,
     std::size_t kernel, std::size_t out_width, std::size_t batch, double* wgt,
@@ -123,6 +129,7 @@ MINICOST_TARGET_CLONES void conv_backward(
       wgk[f1] = sum;
     }
   }
+  if (gx == nullptr) return;
   for (std::size_t b = 0; b < batch; ++b) {
     const double* gb = g + b * out_width;
     double* gxb = gx + b * input;
@@ -237,18 +244,20 @@ void Conv1DOverPrefix::backward_batch(std::span<const double> in,
                                       std::size_t batch) {
   assert(in.size() == batch * input_ &&
          grad_out.size() == batch * output_size() &&
-         grad_in.size() == batch * input_);
+         (grad_in.empty() || grad_in.size() == batch * input_));
   const std::size_t pos = positions();
   const std::size_t out_width = output_size();
   // Transpose each row's conv block to position-major (pos x filters) so
   // the kernel's bias/tap accumulations are unit-stride across filters.
-  // Copies only — no arithmetic, so nothing rounds.
+  // Copies only — no arithmetic, so nothing rounds. p outer / f inner makes
+  // the writes unit-stride (the strided side reads, which prefetches
+  // better than strided stores).
   batch_gt_.resize(batch * pos * filters_);
   for (std::size_t b = 0; b < batch; ++b) {
     const double* gb = grad_out.data() + b * out_width;
     double* gtb = batch_gt_.data() + b * pos * filters_;
-    for (std::size_t f = 0; f < filters_; ++f)
-      for (std::size_t p = 0; p < pos; ++p)
+    for (std::size_t p = 0; p < pos; ++p)
+      for (std::size_t f = 0; f < filters_; ++f)
         gtb[p * filters_ + f] = gb[f * pos + p];
   }
   // Tap gradients accumulate in a transposed scratch (kernel x filters) so
@@ -260,10 +269,11 @@ void Conv1DOverPrefix::backward_batch(std::span<const double> in,
   conv_backward(params_.data(), batch_gt_.data(), grad_out.data(), in.data(),
                 input_, prefix_, filters_, kernel_, out_width, batch,
                 batch_wgt_.data(), grads_.data() + bias_offset(),
-                grad_in.data());
+                grad_in.empty() ? nullptr : grad_in.data());
   for (std::size_t f = 0; f < filters_; ++f)
     for (std::size_t k = 0; k < kernel_; ++k)
       grads_[f * kernel_ + k] = batch_wgt_[k * filters_ + f];
+  if (grad_in.empty()) return;
   // Aux features pass their gradient straight through, as in backward().
   for (std::size_t b = 0; b < batch; ++b) {
     const double* gb = grad_out.data() + b * out_width;

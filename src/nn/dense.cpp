@@ -73,7 +73,15 @@ MINICOST_TARGET_CLONES void gemm_wt_row_major(const double* wt,
 //  * input grads  — per row, SIMD across inputs i; outputs o ascend from
 //    0.0, the order the scalar pass accumulates grad_in.
 // No transposes are needed: g is out-major per row and x/gx are in-major,
-// so every inner loop is already unit-stride in its SIMD dimension. FP
+// so every inner loop is already unit-stride in its SIMD dimension. In the
+// weight/input families the i-tile loop sits OUTSIDE the o / b loop: the
+// active x and w slices (batch x kTile, out x kTile) then stay
+// cache-resident across every output / row instead of re-streaming the
+// whole matrix from L2 once per output (~25% faster at the trunk geometry,
+// 2x at batch 64). The interchange only reorders work across independent
+// accumulators — each accumulator's own b- or o-ascending FP sequence is
+// untouched. gx may be null when the caller has no consumer for dL/d(in)
+// (bottom layer); parameter gradients are identical either way. FP
 // contraction is off for this translation unit, so each multiply-then-add
 // rounds like the scalar code and all dispatch lanes agree bit-for-bit.
 MINICOST_TARGET_CLONES void dense_backward(const double* w, const double* x,
@@ -96,10 +104,10 @@ MINICOST_TARGET_CLONES void dense_backward(const double* w, const double* x,
     for (std::size_t b = 0; b < batch; ++b) sum += g[b * out + o0];
     bg[o0] = sum;
   }
-  for (std::size_t o = 0; o < out; ++o) {
-    double* wgo = wg + o * in;
-    std::size_t i0 = 0;
-    for (; i0 + kTile <= in; i0 += kTile) {
+  std::size_t i0 = 0;
+  for (; i0 + kTile <= in; i0 += kTile) {
+    for (std::size_t o = 0; o < out; ++o) {
+      double* wgo = wg + o * in;
       double acc[kTile];
       for (std::size_t j = 0; j < kTile; ++j) acc[j] = wgo[i0 + j];
       for (std::size_t b = 0; b < batch; ++b) {
@@ -109,18 +117,21 @@ MINICOST_TARGET_CLONES void dense_backward(const double* w, const double* x,
       }
       for (std::size_t j = 0; j < kTile; ++j) wgo[i0 + j] = acc[j];
     }
-    for (; i0 < in; ++i0) {
-      double sum = wgo[i0];
+  }
+  for (; i0 < in; ++i0) {
+    for (std::size_t o = 0; o < out; ++o) {
+      double sum = wg[o * in + i0];
       for (std::size_t b = 0; b < batch; ++b)
         sum += g[b * out + o] * x[b * in + i0];
-      wgo[i0] = sum;
+      wg[o * in + i0] = sum;
     }
   }
-  for (std::size_t b = 0; b < batch; ++b) {
-    const double* gb = g + b * out;
-    double* gxb = gx + b * in;
-    std::size_t i0 = 0;
-    for (; i0 + kTile <= in; i0 += kTile) {
+  if (gx == nullptr) return;
+  i0 = 0;
+  for (; i0 + kTile <= in; i0 += kTile) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* gb = g + b * out;
+      double* gxb = gx + b * in;
       double acc[kTile];
       for (std::size_t j = 0; j < kTile; ++j) acc[j] = 0.0;
       for (std::size_t o = 0; o < out; ++o) {
@@ -130,10 +141,13 @@ MINICOST_TARGET_CLONES void dense_backward(const double* w, const double* x,
       }
       for (std::size_t j = 0; j < kTile; ++j) gxb[i0 + j] = acc[j];
     }
-    for (; i0 < in; ++i0) {
+  }
+  for (; i0 < in; ++i0) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double* gb = g + b * out;
       double sum = 0.0;
       for (std::size_t o = 0; o < out; ++o) sum += gb[o] * w[o * in + i0];
-      gxb[i0] = sum;
+      gx[b * in + i0] = sum;
     }
   }
 }
@@ -166,11 +180,21 @@ void Dense::forward_batch(std::span<const double> in, std::span<double> out,
   // The scalar dot product is a serial FP-add chain the compiler may not
   // reassociate, so the batch kernel vectorizes across output neurons
   // instead. That needs the weights transposed (amortized over the whole
-  // batch; the activations stay row-major, untouched).
+  // batch; the activations stay row-major, untouched). Blocked so both the
+  // read and the write stay within a kB x kB tile — the naive loop strides
+  // one full row per element on the store side and runs ~3x slower at the
+  // trunk geometry. Copies only, nothing rounds.
   batch_wt_.resize(in_ * out_);
-  for (std::size_t o = 0; o < out_; ++o)
-    for (std::size_t i = 0; i < in_; ++i)
-      batch_wt_[i * out_ + o] = params_[o * in_ + i];
+  constexpr std::size_t kB = 16;
+  for (std::size_t o0 = 0; o0 < out_; o0 += kB) {
+    const std::size_t oend = std::min(out_, o0 + kB);
+    for (std::size_t i0 = 0; i0 < in_; i0 += kB) {
+      const std::size_t iend = std::min(in_, i0 + kB);
+      for (std::size_t o = o0; o < oend; ++o)
+        for (std::size_t i = i0; i < iend; ++i)
+          batch_wt_[i * out_ + o] = params_[o * in_ + i];
+    }
+  }
   gemm_wt_row_major(batch_wt_.data(), params_.data() + bias_offset(),
                     in.data(), in_, out_, batch, out.data());
 }
@@ -197,9 +221,10 @@ void Dense::backward_batch(std::span<const double> in,
                            std::span<const double> grad_out,
                            std::span<double> grad_in, std::size_t batch) {
   assert(in.size() == batch * in_ && grad_out.size() == batch * out_ &&
-         grad_in.size() == batch * in_);
+         (grad_in.empty() || grad_in.size() == batch * in_));
   dense_backward(params_.data(), in.data(), grad_out.data(), in_, out_, batch,
-                 grads_.data(), grads_.data() + bias_offset(), grad_in.data());
+                 grads_.data(), grads_.data() + bias_offset(),
+                 grad_in.empty() ? nullptr : grad_in.data());
 }
 
 std::unique_ptr<Layer> Dense::clone() const {

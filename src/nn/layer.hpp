@@ -66,18 +66,24 @@ class Layer {
   /// eliminates recomputation, it never reorders a single accumulator's
   /// floating-point operations (DESIGN.md §7). Does not depend on cached
   /// forward() state (the input rows are passed in), but may clobber it.
-  /// The default replays the scalar path; parameterized layers override it
-  /// with fused whole-batch kernels.
+  /// An empty `grad_in` means the caller has no consumer for dL/d(in)
+  /// (this is the bottom layer of its network); the layer may then skip
+  /// the input-gradient computation entirely — parameter gradients are
+  /// unaffected either way. The default replays the scalar path;
+  /// parameterized layers override it with fused whole-batch kernels.
   virtual void backward_batch(std::span<const double> in,
                               std::span<const double> grad_out,
                               std::span<double> grad_in, std::size_t batch) {
     const std::size_t in_width = input_size();
     const std::size_t out_width = output_size();
     std::vector<double> out_scratch(out_width);
+    std::vector<double> in_scratch;
+    if (grad_in.empty()) in_scratch.resize(in_width);
     for (std::size_t b = 0; b < batch; ++b) {
       forward(in.subspan(b * in_width, in_width), out_scratch);
       backward(grad_out.subspan(b * out_width, out_width),
-               grad_in.subspan(b * in_width, in_width));
+               grad_in.empty() ? std::span<double>(in_scratch)
+                               : grad_in.subspan(b * in_width, in_width));
     }
   }
 

@@ -106,8 +106,34 @@ std::vector<double> Network::forward_batch_train(std::span<const double> input,
   return train_acts_.back();
 }
 
+void Network::begin_train_batch() {
+  train_acts_.resize(layers_.size() + 1);
+  for (auto& rows : train_acts_) rows.clear();
+  train_batch_ = 0;
+}
+
+void Network::append_train_row(std::span<const double> input) {
+  if (layers_.empty() || activations_.size() != layers_.size())
+    throw std::logic_error("Network::append_train_row: no preceding forward");
+  if (input.size() != input_size())
+    throw std::invalid_argument(
+        "Network::append_train_row: input size mismatch");
+  if (train_acts_.size() != layers_.size() + 1)
+    throw std::logic_error(
+        "Network::append_train_row: begin_train_batch not called");
+  // forward() left each layer's output in activations_; those rows are the
+  // per-layer inputs backward_batch() consumes (shifted by one: layer i
+  // reads train_acts_[i]).
+  train_acts_[0].insert(train_acts_[0].end(), input.begin(), input.end());
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    train_acts_[i + 1].insert(train_acts_[i + 1].end(),
+                              activations_[i].begin(), activations_[i].end());
+  ++train_batch_;
+}
+
 std::vector<double> Network::backward_batch(std::span<const double> grad_output,
-                                            std::size_t batch) {
+                                            std::size_t batch,
+                                            bool want_input_grads) {
   if (layers_.empty())
     return std::vector<double>(grad_output.begin(), grad_output.end());
   if (batch == 0 || batch != train_batch_ ||
@@ -119,6 +145,12 @@ std::vector<double> Network::backward_batch(std::span<const double> grad_output,
         "Network::backward_batch: gradient size mismatch");
   grad_back_.assign(grad_output.begin(), grad_output.end());
   for (std::size_t i = layers_.size(); i-- > 0;) {
+    if (i == 0 && !want_input_grads) {
+      // The bottom layer's dL/d(in) has no consumer; an empty span tells
+      // the layer to skip it (parameter gradients are unaffected).
+      layers_[0]->backward_batch(train_acts_[0], grad_back_, {}, batch);
+      return {};
+    }
     grad_front_.resize(batch * layers_[i]->input_size());
     layers_[i]->backward_batch(train_acts_[i], grad_back_, grad_front_, batch);
     std::swap(grad_front_, grad_back_);

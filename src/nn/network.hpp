@@ -50,13 +50,29 @@ class Network {
   std::vector<double> forward_batch_train(std::span<const double> input,
                                           std::size_t batch);
 
-  /// Batched backward after forward_batch_train(): `grad_output` holds
-  /// `batch` rows of dL/d(output). Accumulates parameter gradients
-  /// bit-identical to running forward() + backward() per row in ascending
-  /// row order (DESIGN.md §7) and returns the dL/d(input) rows. Throws
-  /// std::logic_error without a matching forward_batch_train().
+  /// Alternative way to arm backward_batch(): instead of one
+  /// forward_batch_train() call, stash rows one at a time as scalar
+  /// forward() computes them. begin_train_batch() clears the stash;
+  /// append_train_row() must directly follow a forward() on `input` and
+  /// copies that pass's per-layer activations into the batch (bit-identical
+  /// to what forward_batch_train() would compute, since batch rows match
+  /// forward() rows by contract). Lets a rollout loop that already forwards
+  /// each state feed the update phase without a second forward pass.
+  void begin_train_batch();
+  void append_train_row(std::span<const double> input);
+
+  /// Batched backward after forward_batch_train() (or a
+  /// begin/append_train_row() sequence): `grad_output` holds `batch` rows
+  /// of dL/d(output). Accumulates parameter gradients bit-identical to
+  /// running forward() + backward() per row in ascending row order
+  /// (DESIGN.md §7) and returns the dL/d(input) rows. Throws
+  /// std::logic_error without a matching forward pass. When the caller has
+  /// no use for dL/d(input) — gradient descent stops at the bottom layer —
+  /// pass want_input_grads = false: the bottom layer skips that computation
+  /// and an empty vector is returned (parameter gradients are identical).
   std::vector<double> backward_batch(std::span<const double> grad_output,
-                                     std::size_t batch);
+                                     std::size_t batch,
+                                     bool want_input_grads = true);
 
   /// Total number of trainable parameters.
   std::size_t parameter_count() const noexcept;

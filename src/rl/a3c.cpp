@@ -139,8 +139,13 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
     Action held_action = 0;
     const double hold_stop_p =
         config_.epsilon_hold_mean > 0.0 ? 1.0 / config_.epsilon_hold_mean : 1.0;
+    // Batched path: stash each rollout forward's per-layer activations so
+    // the update phase can run backward_batch directly — the rollout IS the
+    // actor's forward pass (weights are frozen within an episode).
+    if (config_.batched_update) actor.begin_train_batch();
     while (!done) {
       const std::vector<double> logits = actor.forward(state);
+      if (config_.batched_update) actor.append_train_row(state);
       rollout_logits.insert(rollout_logits.end(), logits.begin(), logits.end());
       const std::vector<double> pi = nn::softmax(logits);
       Action action;
@@ -206,7 +211,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
       }
       std::vector<double> grad_v(n);
       nn::mse_grad_rows(values, returns, inv_n, grad_v);
-      critic.backward_batch(grad_v, n);
+      critic.backward_batch(grad_v, n, /*want_input_grads=*/false);
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         const std::span<const double> s(states.data() + i * width, width);
@@ -243,7 +248,9 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
     // output is bit-identical to the cached rollout logits (same weights,
     // same input), so the loss reads the cache instead of recomputing.
     if (config_.batched_update) {
-      actor.forward_batch_train(states, n);
+      // No forward here at all: the rollout stashed each step's per-layer
+      // activations (begin_train_batch/append_train_row above), which is
+      // exactly the state backward_batch consumes.
       std::vector<double> probs(n * kActionCount);
       nn::softmax_rows(rollout_logits, n, probs);
       std::vector<double> centered(n);
@@ -255,7 +262,7 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
       std::vector<double> grad_logits(n * kActionCount);
       nn::policy_entropy_grad_rows(probs, n, chosen, centered, beta, inv_n,
                                    grad_logits);
-      actor.backward_batch(grad_logits, n);
+      actor.backward_batch(grad_logits, n, /*want_input_grads=*/false);
     } else {
       for (std::size_t i = 0; i < n; ++i) {
         const double advantage = advantages[i] - advantage_mean;
