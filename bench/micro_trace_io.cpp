@@ -6,7 +6,11 @@
 //   * pack: streaming-generate the workload into a .mct container
 //   * csv_load: trace_io CSV parse (only measured up to 20k files — the
 //     text container is quadratically painful, which is rather the point)
+//   * container bytes: the binary .mct vs the raw CSV text for the same
+//     trace (mct_mib / csv_mib / the compression-style ratio)
 //   * mct_open_scan: mmap open + full checksum scan of every series byte
+//   * materialize prefetch off/on: shard-at-a-time copy-out through a bare
+//     loop vs store::ShardPrefetcher (overlap only helps with >1 hw thread)
 //   * eval monolithic vs sharded: Greedy over the last 35 days, and a check
 //     that the two bills match bit for bit
 //
@@ -25,6 +29,7 @@
 #include "common.hpp"
 #include "core/greedy.hpp"
 #include "core/shard_eval.hpp"
+#include "store/shard_prefetcher.hpp"
 #include "store/trace_reader.hpp"
 #include "store/trace_writer.hpp"
 #include "trace/synthetic.hpp"
@@ -41,8 +46,12 @@ struct Row {
   double pack_seconds = 0.0;
   double csv_save_seconds = -1.0;  ///< < 0: not measured at this size
   double csv_load_seconds = -1.0;
+  double mct_mib = 0.0;
+  double csv_mib = -1.0;  ///< < 0: not measured at this size
   double open_scan_seconds = 0.0;
   double scan_gb = 0.0;
+  double materialize_serial_seconds = 0.0;
+  double materialize_prefetch_seconds = 0.0;
   double eval_mono_seconds = 0.0;
   double eval_shard_seconds = 0.0;
   std::size_t shard_files = 0;
@@ -85,8 +94,12 @@ Row run_size(std::size_t files, std::size_t days,
     util::Stopwatch load;
     const trace::RequestTrace back = trace::load_trace(csv);
     row.csv_load_seconds = load.seconds();
+    row.csv_mib = static_cast<double>(std::filesystem::file_size(csv)) /
+                  (1024.0 * 1024.0);
     std::filesystem::remove(csv);
   }
+  row.mct_mib =
+      static_cast<double>(std::filesystem::file_size(mct)) / (1024.0 * 1024.0);
 
   {
     util::Stopwatch watch;
@@ -97,6 +110,31 @@ Row run_size(std::size_t files, std::size_t days,
   }
 
   const store::TraceReader reader(mct);
+
+  // Shard-at-a-time copy-out of the whole store, prefetcher off vs on. The
+  // pages are released after each shard so both passes fault them back in.
+  {
+    util::Stopwatch watch;
+    for (std::size_t first = 0; first < files; first += row.shard_files) {
+      const std::size_t count = std::min(row.shard_files, files - first);
+      const trace::RequestTrace shard = reader.materialize_shard(first, count);
+      reader.release_frequency_range(first, count);
+    }
+    row.materialize_serial_seconds = watch.seconds();
+  }
+  {
+    std::vector<store::ShardPrefetcher::Range> ranges;
+    for (std::size_t first = 0; first < files; first += row.shard_files)
+      ranges.push_back({first, std::min(row.shard_files, files - first)});
+    util::Stopwatch watch;
+    store::ShardPrefetcher prefetcher(reader, std::move(ranges));
+    while (!prefetcher.done()) {
+      const store::ShardPrefetcher::Shard shard = prefetcher.next();
+      reader.release_frequency_range(shard.range.first, shard.range.count);
+    }
+    row.materialize_prefetch_seconds = watch.seconds();
+  }
+
   const pricing::PricingPolicy prices = benchx::standard_pricing();
   const std::size_t start = days > 35 ? days - 35 : 1;
   double mono_total = 0.0, shard_total = 0.0;
@@ -148,6 +186,13 @@ int main() {
                          row.open_scan_seconds);
     metrics.emplace_back(prefix + "mct_scan_gb_per_sec",
                          row.scan_gb / row.open_scan_seconds);
+    metrics.emplace_back(prefix + "mct_mib", row.mct_mib);
+    if (row.csv_mib >= 0.0)
+      metrics.emplace_back(prefix + "csv_mib", row.csv_mib);
+    metrics.emplace_back(prefix + "materialize_serial_seconds",
+                         row.materialize_serial_seconds);
+    metrics.emplace_back(prefix + "materialize_prefetch_seconds",
+                         row.materialize_prefetch_seconds);
     metrics.emplace_back(prefix + "eval_monolithic_seconds",
                          row.eval_mono_seconds);
     metrics.emplace_back(prefix + "eval_sharded_seconds",
@@ -158,14 +203,19 @@ int main() {
     std::snprintf(
         buf, sizeof buf,
         "%s{\"files\":%zu,\"pack_seconds\":%.3f,\"csv_save_seconds\":%.3f,"
-        "\"csv_load_seconds\":%.3f,\"mct_open_scan_seconds\":%.3f,"
-        "\"mct_scan_gb_per_sec\":%.2f,\"eval_monolithic_seconds\":%.3f,"
+        "\"csv_load_seconds\":%.3f,\"mct_mib\":%.2f,\"csv_mib\":%.2f,"
+        "\"mct_csv_ratio\":%.3f,\"mct_open_scan_seconds\":%.3f,"
+        "\"mct_scan_gb_per_sec\":%.2f,\"materialize_serial_seconds\":%.3f,"
+        "\"materialize_prefetch_seconds\":%.3f,"
+        "\"eval_monolithic_seconds\":%.3f,"
         "\"eval_sharded_seconds\":%.3f,\"shard_files\":%zu,"
         "\"bills_identical\":%s}",
         i == 0 ? "" : ",", row.files, row.pack_seconds, row.csv_save_seconds,
-        row.csv_load_seconds, row.open_scan_seconds,
-        row.scan_gb / row.open_scan_seconds, row.eval_mono_seconds,
-        row.eval_shard_seconds, row.shard_files,
+        row.csv_load_seconds, row.mct_mib, row.csv_mib,
+        row.csv_mib > 0.0 ? row.mct_mib / row.csv_mib : -1.0,
+        row.open_scan_seconds, row.scan_gb / row.open_scan_seconds,
+        row.materialize_serial_seconds, row.materialize_prefetch_seconds,
+        row.eval_mono_seconds, row.eval_shard_seconds, row.shard_files,
         row.identical ? "true" : "false");
     json << buf;
   }

@@ -1,65 +1,13 @@
 #include "core/shard_eval.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-
-#include "obs/metrics.hpp"
-
 namespace minicost::core {
 
 ShardEvalResult run_policy_sharded(const store::TraceReader& reader,
                                    const pricing::PricingPolicy& pricing,
                                    TieringPolicy& policy,
                                    const ShardEvalOptions& options) {
-  const std::size_t n = reader.file_count();
-  if (n == 0)
-    throw std::invalid_argument("run_policy_sharded: store has no files");
-  const std::size_t end_day =
-      options.end_day == 0 ? reader.days() : options.end_day;
-  if (options.start_day >= end_day || end_day > reader.days())
-    throw std::invalid_argument("run_policy_sharded: bad planning window");
-
-  const std::size_t shard = options.shard_files == 0 ? n : options.shard_files;
-  const std::size_t window = end_day - options.start_day;
-
-  ShardEvalResult result;
-  result.policy_name = policy.name();
-  result.start_day = options.start_day;
-  result.report = sim::BillingReport(n, window);
-
-  MC_OBS_COUNT("core.shard_eval.calls", 1);
-  for (std::size_t first = 0; first < n; first += shard) {
-    const std::size_t count = std::min(shard, n - first);
-    const trace::RequestTrace shard_trace = [&] {
-      MC_OBS_SCOPE("core.shard_eval.materialize");
-      return reader.materialize_shard(first, count);
-    }();
-
-    PlanOptions plan_options;
-    plan_options.start_day = options.start_day;
-    plan_options.end_day = end_day;
-    plan_options.default_initial_tier = options.default_initial_tier;
-    plan_options.charge_initial_placement = options.charge_initial_placement;
-    plan_options.pool = options.pool;
-    if (options.static_initial && options.start_day > 0)
-      plan_options.initial_tiers =
-          static_initial_tiers(shard_trace, pricing, options.start_day);
-
-    PlanResult shard_result =
-        run_policy(shard_trace, pricing, policy, plan_options);
-    {
-      MC_OBS_SCOPE("core.shard_eval.merge");
-      result.report.merge_shard(shard_result.report, first);
-    }
-    result.decision_seconds += shard_result.decision_seconds;
-    ++result.shard_count;
-    MC_OBS_COUNT("core.shard_eval.shards", 1);
-    MC_OBS_COUNT("core.shard_eval.files", count);
-
-    if (options.release_shard_pages)
-      reader.release_frequency_range(first, count);
-  }
-  return result;
+  PlanDriver driver(reader, pricing, policy, options);
+  return driver.run();
 }
 
 }  // namespace minicost::core

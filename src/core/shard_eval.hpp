@@ -1,67 +1,50 @@
 #pragma once
-// Shard-streamed policy evaluation over an out-of-core .mct trace store.
+// Shard-streamed policy evaluation over an out-of-core .mct trace store —
+// the one-shot face of the pipelined planning driver (core/plan_driver.hpp).
 //
-// run_policy_sharded() walks a mapped TraceReader in contiguous file shards,
-// materializes each shard into an ordinary RequestTrace, runs the normal
-// planner harness (core/planner.hpp) on it, and folds the per-shard
-// BillingReports into one full-width report with
-// BillingReport::merge_shard(). Peak resident memory is O(shard) — one
-// shard's RequestTrace, plan, and report — never O(trace); the mapping's
-// frequency pages are dropped after each shard (release_frequency_range).
+// run_policy_sharded() constructs a PlanDriver over the mapped TraceReader
+// and runs every shard once: materialize -> decide -> bill, folding the
+// per-shard BillingReports into one full-width report with
+// BillingReport::merge_shard(). Peak resident memory stays O(shard) for the
+// trace data — one shard's RequestTrace, plan, and in-flight report — plus
+// O(files) for the merged bill itself; the mapping's frequency pages are
+// dropped after each shard (release_frequency_range). With
+// options.pipeline, shard N+1 materializes on the pool while shard N is
+// planned (store::ShardPrefetcher).
 //
-// Determinism guarantee (DESIGN.md §9): for any policy whose decisions are
-// per-file — every baseline and the RL policy qualify; their decide_day
+// Determinism guarantee (DESIGN.md §9/§11): for any policy whose decisions
+// are per-file — every baseline and the RL policy qualify; their decide_day
 // computes file i's assignment from file i's series alone — the merged
 // report is byte-identical to running run_policy once on
-// reader.materialize(), for EVERY shard size. Two ingredients make this
-// hold: per-shard inputs are bit-equal to the corresponding slice of the
-// monolithic inputs (materialize_shard copies series bytes verbatim, and
+// reader.materialize(), for EVERY shard size, pool size, and pipeline mode.
+// Two ingredients make this hold: per-shard inputs are bit-equal to the
+// corresponding slice of the monolithic inputs (materialize_shard copies
+// series bytes verbatim regardless of which thread runs it, and
 // static_initial_tiers is itself per-file), and BillingReport accumulates
 // in exact arithmetic, so splitting the charge stream across shard reports
 // and merging cannot perturb a single bit of the totals.
 //
 // Policies with cross-file state (none in-tree today) would see a different
 // PlanContext per shard; callers own that trade-off.
+//
+// A 0-file store evaluates to an empty (0-file) bill — byte-identical to
+// monolithic run_policy over the empty materialized trace.
 
-#include <string>
-
-#include "core/planner.hpp"
-#include "store/trace_reader.hpp"
+#include "core/plan_driver.hpp"
 
 namespace minicost::core {
 
-struct ShardEvalOptions {
-  /// Files per shard; 0 = the whole trace as a single shard.
-  std::size_t shard_files = 65536;
-  std::size_t start_day = 0;  ///< first billed/decided day (inclusive)
-  std::size_t end_day = 0;    ///< exclusive; 0 = trace end
-  /// When start_day > 0, seed each shard with static_initial_tiers computed
-  /// over days [0, start_day) — the paper's hot/cool customer baseline.
-  /// Otherwise (or when start_day == 0) every file starts in
-  /// `default_initial_tier`.
-  bool static_initial = true;
-  pricing::StorageTier default_initial_tier = pricing::StorageTier::kHot;
-  bool charge_initial_placement = true;
-  /// Pool for batched planning/billing inside each shard; nullptr = the
-  /// process-shared pool. Results are pool-size independent.
-  util::ThreadPool* pool = nullptr;
-  /// madvise each shard's frequency pages away once billed, keeping RSS
-  /// bounded by the shard instead of the mapped trace.
-  bool release_shard_pages = true;
-};
+/// One-shot options: identical to the driver's (shard_files, window,
+/// static_initial, pool, release_shard_pages, pipeline, prefetch_depth).
+using ShardEvalOptions = PlanDriverOptions;
 
-struct ShardEvalResult {
-  std::string policy_name;
-  /// Full-width bill: file_count() == reader.file_count(), days() == window.
-  sim::BillingReport report;
-  double decision_seconds = 0.0;  ///< summed over shards
-  std::size_t shard_count = 0;
-  std::size_t start_day = 0;
-};
+/// One-shot result. decision_seconds is the decide time SUMMED over shards
+/// (CPU view, unchanged by pipelining); wall_seconds is the run's
+/// wall-clock (what pipelining improves) — see PlanDriverRun.
+using ShardEvalResult = PlanDriverRun;
 
 /// Evaluates `policy` over days [start_day, end_day) of the stored trace,
-/// shard by shard. Throws std::invalid_argument on a bad window or an empty
-/// store.
+/// shard by shard. Throws std::invalid_argument on a bad window.
 ShardEvalResult run_policy_sharded(const store::TraceReader& reader,
                                    const pricing::PricingPolicy& pricing,
                                    TieringPolicy& policy,

@@ -96,6 +96,15 @@ struct TimerStats {
   double mean_seconds() const noexcept {
     return count == 0 ? 0.0 : total_seconds() / static_cast<double>(count);
   }
+
+  /// Estimated p-quantile (p in [0, 1]) in nanoseconds from the log2
+  /// histogram: finds the bucket holding the p-th sample and interpolates
+  /// linearly inside its [lower, upper) range, clamped to the observed
+  /// min/max so a single-sample histogram reports that sample exactly.
+  /// Resolution is bounded by the power-of-two bucket widths — good enough
+  /// for the p50/p99 latency lines in run reports, not for fine ranking.
+  /// Returns 0 when the histogram is empty.
+  double percentile_ns(double p) const noexcept;
 };
 
 /// A duration aggregate (count/total/min/max + log2 histogram). Lock-free:

@@ -1,0 +1,52 @@
+#include "store/shard_prefetcher.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace minicost::store {
+
+ShardPrefetcher::ShardPrefetcher(const TraceReader& reader,
+                                 std::vector<Range> ranges,
+                                 util::ThreadPool* pool, std::size_t depth)
+    : reader_(reader),
+      ranges_(std::move(ranges)),
+      pool_(pool),
+      depth_(depth == 0 ? 1 : depth) {
+  for (const Range& range : ranges_)
+    if (range.first + range.count > reader_.file_count())
+      throw std::out_of_range("ShardPrefetcher: range exceeds the store");
+}
+
+void ShardPrefetcher::fill() {
+  // Keep the shard about to be consumed plus up to depth_ readahead shards
+  // in flight; materialize_shard_async validated ranges already.
+  while (issued_ < ranges_.size() && inflight_.size() < depth_ + 1) {
+    inflight_.push_back(reader_.materialize_shard_async(
+        ranges_[issued_].first, ranges_[issued_].count, pool_));
+    ++issued_;
+    MC_OBS_COUNT("store.prefetcher.shards_issued", 1);
+  }
+}
+
+ShardPrefetcher::Shard ShardPrefetcher::next() {
+  if (done()) throw std::logic_error("ShardPrefetcher::next: exhausted");
+  fill();
+  std::future<trace::RequestTrace> front = std::move(inflight_.front());
+  inflight_.pop_front();
+  // Top back up before blocking so the readahead shard materializes while
+  // the caller is still waiting on (and then planning) this one.
+  fill();
+  Shard shard;
+  shard.index = consumed_;
+  shard.range = ranges_[consumed_];
+  {
+    MC_OBS_SCOPE("store.prefetcher.wait");
+    shard.trace = front.get();
+  }
+  ++consumed_;
+  return shard;
+}
+
+}  // namespace minicost::store

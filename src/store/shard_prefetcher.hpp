@@ -1,0 +1,75 @@
+#pragma once
+// Double-buffered shard readahead over a TraceReader.
+//
+// The pipelined planning driver (core/plan_driver.hpp) wants shard N+1's
+// RequestTrace materializing on the thread pool while shard N is being
+// decided and billed. ShardPrefetcher owns exactly that overlap: give it
+// the ordered list of shard ranges, and each next() call returns the next
+// materialized shard while keeping up to `depth` further shards in flight
+// (depth 1 — the default — is the classic double buffer: one shard being
+// consumed, one being readied).
+//
+// Determinism: materialization copies mapped series bytes verbatim
+// (TraceReader::materialize_shard), so WHERE it runs cannot change a single
+// bit of the shard's contents; shards are handed back strictly in range
+// order. The prefetcher therefore composes with the DESIGN.md §9 guarantee:
+// a pipelined run's per-shard inputs are bit-equal to a serial run's.
+//
+// Threading: next() must be called from a driver thread, never from a task
+// running on the same pool (a blocked std::future::get() does not help
+// drain the queue). Ranges are non-overlapping by construction in every
+// in-tree caller, which keeps release_frequency_range() on consumed shards
+// disjoint from in-flight materializations.
+
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "store/trace_reader.hpp"
+#include "trace/trace.hpp"
+
+namespace minicost::store {
+
+class ShardPrefetcher {
+ public:
+  struct Range {
+    std::size_t first = 0;  ///< first file id of the shard
+    std::size_t count = 0;  ///< files in the shard
+  };
+  struct Shard {
+    std::size_t index = 0;  ///< position in the construction-order range list
+    Range range;
+    trace::RequestTrace trace;
+  };
+
+  /// Queues nothing yet; the first next() primes the pipeline. `ranges` are
+  /// consumed in order. `pool` nullptr = the process-shared pool. `depth` is
+  /// how many shards beyond the one being returned may be in flight
+  /// (clamped to >= 1). Throws std::out_of_range up front if any range
+  /// exceeds the reader's file count.
+  ShardPrefetcher(const TraceReader& reader, std::vector<Range> ranges,
+                  util::ThreadPool* pool = nullptr, std::size_t depth = 1);
+
+  std::size_t size() const noexcept { return ranges_.size(); }
+  bool done() const noexcept { return consumed_ == ranges_.size(); }
+
+  /// Blocks until the next shard in order is materialized, tops the
+  /// pipeline back up to `depth` in-flight shards, and returns it. Throws
+  /// std::logic_error when already done(); rethrows any exception the
+  /// materialization task raised.
+  Shard next();
+
+ private:
+  void fill();
+
+  const TraceReader& reader_;
+  std::vector<Range> ranges_;
+  util::ThreadPool* pool_;
+  std::size_t depth_;
+  std::size_t issued_ = 0;    ///< next range index to queue
+  std::size_t consumed_ = 0;  ///< next range index to hand out
+  std::deque<std::future<trace::RequestTrace>> inflight_;
+};
+
+}  // namespace minicost::store

@@ -12,6 +12,7 @@
 
 #include "obs/metrics.hpp"
 #include "store/crc32.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost::store {
 namespace {
@@ -270,6 +271,16 @@ trace::RequestTrace TraceReader::materialize_shard(std::size_t first,
   }
   return trace::RequestTrace(header_.days, std::move(files),
                              std::move(groups));
+}
+
+std::future<trace::RequestTrace> TraceReader::materialize_shard_async(
+    std::size_t first, std::size_t count, util::ThreadPool* pool) const {
+  if (first + count > header_.file_count)
+    throw std::out_of_range(
+        "TraceReader::materialize_shard_async: bad file range");
+  util::ThreadPool& target = pool != nullptr ? *pool : util::ThreadPool::shared();
+  return target.submit(
+      [this, first, count] { return materialize_shard(first, count); });
 }
 
 trace::RequestTrace TraceReader::materialize() const {

@@ -17,12 +17,17 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <future>
 #include <span>
 #include <string_view>
 #include <vector>
 
 #include "store/format.hpp"
 #include "trace/trace.hpp"
+
+namespace minicost::util {
+class ThreadPool;
+}  // namespace minicost::util
 
 namespace minicost::store {
 
@@ -69,6 +74,17 @@ class TraceReader {
   /// range.
   trace::RequestTrace materialize_shard(std::size_t first,
                                         std::size_t count) const;
+
+  /// Posts materialize_shard(first, count) to `pool` (nullptr = the
+  /// process-shared pool) and returns its future — the building block of
+  /// the pipelined planning driver (core/plan_driver.hpp), which readies
+  /// shard N+1 while shard N is being planned. The range is validated
+  /// eagerly (std::out_of_range before anything is queued); the reader must
+  /// outlive the future's completion. Do not call get() from inside a task
+  /// running on the same pool — block only from driver threads.
+  std::future<trace::RequestTrace> materialize_shard_async(
+      std::size_t first, std::size_t count,
+      util::ThreadPool* pool = nullptr) const;
 
   /// The whole trace as a RequestTrace (== materialize_shard(0, all)).
   trace::RequestTrace materialize() const;

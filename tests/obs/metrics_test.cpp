@@ -95,6 +95,32 @@ TEST(TimerTest, RecordAggregates) {
   EXPECT_EQ(timer.stats().max_ns, 0u);
 }
 
+TEST(TimerTest, PercentileEstimates) {
+  Timer timer;
+  EXPECT_EQ(timer.stats().percentile_ns(0.5), 0.0);  // empty: no estimate
+
+  // A single sample: every quantile is that sample.
+  timer.record_ns(100);
+  EXPECT_EQ(timer.stats().percentile_ns(0.0), 100.0);
+  EXPECT_EQ(timer.stats().percentile_ns(0.5), 100.0);
+  EXPECT_EQ(timer.stats().percentile_ns(1.0), 100.0);
+
+  // 99 samples in b3 ([4, 8) ns) and one in b10 ([512, 1024) ns): the
+  // median must come from the low bucket, p99.5 from the high one, and the
+  // high estimate is clamped to max_ns.
+  timer.reset();
+  for (int i = 0; i < 99; ++i) timer.record_ns(5);
+  timer.record_ns(600);
+  const TimerStats stats = timer.stats();
+  const double p50 = stats.percentile_ns(0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  const double p995 = stats.percentile_ns(0.995);
+  EXPECT_GE(p995, 512.0);
+  EXPECT_LE(p995, 600.0);  // clamped to the observed max
+  EXPECT_GE(stats.percentile_ns(0.99), p50);
+}
+
 TEST(RegistryTest, LookupIsStableAndIdempotent) {
   Registry registry;
   Counter& a = registry.counter("x");

@@ -63,38 +63,44 @@ class ShardEvalTest : public ::testing::Test {
   }
 
   /// Runs the matrix {shard sizes} x {pool sizes} for one policy and checks
-  /// every cell against the monolithic reference bill.
+  /// every cell against the monolithic reference bill. shard size 1000 >
+  /// file count pins the "one oversized shard" edge; `pipeline` runs the
+  /// same matrix through the prefetching driver path.
   template <typename Policy>
-  void check_policy(std::size_t start_day) {
+  void check_policy(std::size_t start_day, bool pipeline = false,
+                    bool static_initial = true) {
     const pricing::PricingPolicy prices = pricing::PricingPolicy::azure_2020();
     const trace::RequestTrace whole = reader_->materialize();
 
     Policy reference_policy;
     PlanOptions mono;
     mono.start_day = start_day;
-    if (start_day > 0)
+    if (static_initial && start_day > 0)
       mono.initial_tiers = static_initial_tiers(whole, prices, start_day);
     const PlanResult reference =
         run_policy(whole, prices, reference_policy, mono);
 
-    for (const std::size_t shard_files : {std::size_t{1}, std::size_t{7},
-                                          std::size_t{0}}) {
+    for (const std::size_t shard_files :
+         {std::size_t{1}, std::size_t{7}, std::size_t{1000}, std::size_t{0}}) {
       for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
         util::ThreadPool pool(threads);
         Policy policy;
         ShardEvalOptions options;
         options.shard_files = shard_files;
         options.start_day = start_day;
+        options.static_initial = static_initial;
         options.pool = &pool;
+        options.pipeline = pipeline;
         const ShardEvalResult sharded =
             run_policy_sharded(*reader_, prices, policy, options);
         SCOPED_TRACE("shard_files=" + std::to_string(shard_files) +
-                     " threads=" + std::to_string(threads));
+                     " threads=" + std::to_string(threads) +
+                     " pipeline=" + std::to_string(pipeline));
+        const std::size_t n = reader_->file_count();
         EXPECT_EQ(sharded.shard_count,
-                  shard_files == 0
+                  shard_files == 0 || shard_files >= n
                       ? 1u
-                      : (reader_->file_count() + shard_files - 1) /
-                            shard_files);
+                      : (n + shard_files - 1) / shard_files);
         expect_identical(sharded.report, reference.report);
       }
     }
@@ -114,6 +120,56 @@ TEST_F(ShardEvalTest, OptimalMatchesMonolithicForEveryShardAndPoolSize) {
 
 TEST_F(ShardEvalTest, WholeWindowFromDayZeroMatches) {
   check_policy<GreedyPolicy>(0);
+}
+
+TEST_F(ShardEvalTest, PipelinedMatchesMonolithicForEveryShardAndPoolSize) {
+  check_policy<GreedyPolicy>(/*start_day=*/3, /*pipeline=*/true);
+}
+
+TEST_F(ShardEvalTest, PipelinedWholeWindowFromDayZeroMatches) {
+  check_policy<GreedyPolicy>(/*start_day=*/0, /*pipeline=*/true);
+}
+
+TEST_F(ShardEvalTest, ObservationWindowWithoutStaticInitialMatches) {
+  check_policy<GreedyPolicy>(/*start_day=*/3, /*pipeline=*/false,
+                             /*static_initial=*/false);
+  check_policy<GreedyPolicy>(/*start_day=*/3, /*pipeline=*/true,
+                             /*static_initial=*/false);
+}
+
+TEST_F(ShardEvalTest, EmptyStoreBillsToEmptyReport) {
+  const std::filesystem::path empty =
+      std::filesystem::temp_directory_path() /
+      ("minicost_shard_eval_empty_" + std::to_string(::getpid()) + ".mct");
+  {
+    store::TraceWriter writer(empty, /*days=*/10);
+    writer.finish();  // zero files
+  }
+  const store::TraceReader reader(empty);
+  const pricing::PricingPolicy prices = pricing::PricingPolicy::azure_2020();
+
+  GreedyPolicy mono_policy;
+  PlanOptions mono;
+  mono.start_day = 3;
+  const PlanResult reference =
+      run_policy(reader.materialize(), prices, mono_policy, mono);
+
+  for (const bool pipeline : {false, true}) {
+    GreedyPolicy policy;
+    ShardEvalOptions options;
+    options.shard_files = 7;
+    options.start_day = 3;
+    options.pipeline = pipeline;
+    const ShardEvalResult sharded =
+        run_policy_sharded(reader, prices, policy, options);
+    SCOPED_TRACE("pipeline=" + std::to_string(pipeline));
+    EXPECT_EQ(sharded.shard_count, 0u);
+    EXPECT_EQ(sharded.replanned_shards, 0u);
+    expect_identical(sharded.report, reference.report);
+    EXPECT_EQ(sharded.report.grand_total().total(), 0.0);
+  }
+  std::error_code ec;
+  std::filesystem::remove(empty, ec);
 }
 
 TEST_F(ShardEvalTest, RejectsBadWindows) {

@@ -90,6 +90,12 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(bench_diff.direction("peak_mib"), "lower")
         self.assertEqual(bench_diff.direction("bills_identical"), "info")
         self.assertEqual(bench_diff.direction("shards"), "info")
+        # _sum_seconds outranks the _seconds lower-better suffix: summed
+        # per-shard CPU time grows legitimately when the pipeline overlaps.
+        self.assertEqual(bench_diff.direction("decide_sum_seconds"), "info")
+        self.assertEqual(bench_diff.direction("incremental_speedup"),
+                         "higher")
+        self.assertEqual(bench_diff.direction("file_decide_p99_ns"), "lower")
 
     # --- the acceptance criterion: injected regression fails -----------
 
@@ -120,6 +126,23 @@ class BenchDiffTest(unittest.TestCase):
                                   "x.files_per_sec": 900.0})
         code, _, _ = self.run_tool(baseline, current)
         self.assertEqual(code, 0)
+
+    def test_sum_seconds_growth_is_informational(self):
+        # The pipelined driver's decide-time sum can triple while the wall
+        # clock improves; only the wall metrics may gate.
+        baseline = report(metrics={"decide_sum_seconds": 10.0,
+                                   "pipelined_wall_seconds": 8.0})
+        current = report(metrics={"decide_sum_seconds": 30.0,
+                                  "pipelined_wall_seconds": 7.0})
+        code, out, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
+        self.assertIn("info", out)
+
+    def test_speedup_drop_fails(self):
+        baseline = report(metrics={"incremental_speedup": 10.0})
+        current = report(metrics={"incremental_speedup": 1.1})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
 
     # --- noise floor ----------------------------------------------------
 

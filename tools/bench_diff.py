@@ -12,9 +12,16 @@ gates on.
 
 Improvement direction is inferred from the metric name:
   * ``*_per_sec``, ``*speedup``     — higher is better
+  * ``*_sum_seconds``               — informational: summed per-shard CPU
+    time is not a wall-clock signal when shard I/O overlaps planning (the
+    pipelined driver can raise the sum while lowering the wall)
   * ``*_seconds``, ``*_ns``,
     ``*_mib``, ``*_bytes``          — lower is better
   * anything else                   — informational (never fails the gate)
+
+Percentile metrics (``*_p50_ns``, ``*_p99_ns``) gate like any other ``_ns``
+metric, but per-file decision latencies are nanoseconds-scale, so in
+practice the ``--min-seconds`` noise floor reports them informationally.
 
 Timers from the obs registry are compared on mean nanoseconds per event
 (lower is better). Any time-valued pair where BOTH sides are under
@@ -44,6 +51,9 @@ SCHEMA_VERSION = 1
 
 HIGHER_BETTER_SUFFIXES = ("_per_sec", "per_sec", "speedup")
 LOWER_BETTER_SUFFIXES = ("_seconds", "_ns", "_mib", "_bytes")
+# Checked before LOWER_BETTER: a summed-over-shards CPU time legitimately
+# grows when overlap shortens the wall clock.
+INFORMATIONAL_SUFFIXES = ("_sum_seconds",)
 
 # Fingerprint fields that must agree for a comparison to be meaningful.
 # git_sha is deliberately absent: the entire point is cross-commit diffs.
@@ -63,6 +73,8 @@ def direction(name: str) -> str:
     lowered = name.lower()
     if lowered.endswith(HIGHER_BETTER_SUFFIXES):
         return "higher"
+    if lowered.endswith(INFORMATIONAL_SUFFIXES):
+        return "info"
     if lowered.endswith(LOWER_BETTER_SUFFIXES):
         return "lower"
     return "info"

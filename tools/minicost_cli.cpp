@@ -9,15 +9,23 @@
 // Everything operates on the CSV trace container of trace/trace_io.hpp, so
 // pipelines can mix synthetic and real (pagecounts) workloads.
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <sstream>
 
 #include "core/forecast_policy.hpp"
 #include "core/greedy.hpp"
 #include "core/optimal.hpp"
+#include "core/plan_driver.hpp"
 #include "core/planner.hpp"
 #include "obs/run_report.hpp"
 #include "sim/cost_model.hpp"
+#include "store/trace_reader.hpp"
 #include "trace/analysis.hpp"
 #include "trace/pagecounts_parser.hpp"
 #include "trace/synthetic.hpp"
@@ -100,17 +108,330 @@ int cmd_analyze(int argc, const char* const* argv) {
   return 0;
 }
 
+std::unique_ptr<core::TieringPolicy> make_policy(const std::string& which) {
+  if (which == "hot") return core::make_hot_policy();
+  if (which == "cold") return core::make_cold_policy();
+  if (which == "greedy") return std::make_unique<core::GreedyPolicy>();
+  if (which == "mpc") return std::make_unique<core::ForecastMpcPolicy>();
+  if (which == "optimal") return std::make_unique<core::OptimalPolicy>();
+  return nullptr;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+/// The driver-mode result rows (serve, sweep, --replan) in one fixed CSV
+/// schema. Costs print with %.17g so two byte-identical bills render as
+/// string-identical rows — the serve smoke in CI compares them textually.
+constexpr const char* kRowHeader =
+    "event,policy,shard_files,shards,replanned,wall_seconds,"
+    "decide_sum_seconds,file_decide_p50_ns,file_decide_p99_ns,total_cost,"
+    "tier_changes";
+
+std::string format_row(const std::string& event, std::size_t shard_files,
+                       const core::PlanDriverRun& run) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "%s,%s,%zu,%zu,%zu,%.6f,%.6f,%.1f,%.1f,%.17g,%" PRIu64,
+                event.c_str(), run.policy_name.c_str(), shard_files,
+                run.shard_count, run.replanned_shards, run.wall_seconds,
+                run.decision_seconds, run.file_decide_p50_ns,
+                run.file_decide_p99_ns, run.report.grand_total().total(),
+                run.report.tier_changes());
+  return buf;
+}
+
+bool bills_identical(const sim::BillingReport& a, const sim::BillingReport& b) {
+  if (a.file_count() != b.file_count() || a.days() != b.days()) return false;
+  const auto& ta = a.grand_total();
+  const auto& tb = b.grand_total();
+  if (std::memcmp(&ta, &tb, sizeof ta) != 0) return false;
+  if (a.tier_changes() != b.tier_changes()) return false;
+  for (std::size_t f = 0; f < a.file_count(); ++f)
+    if (a.file_total(f) != b.file_total(f)) return false;
+  return true;
+}
+
+/// Pretty bill + timing summary for one driver run (table format).
+void print_run(const core::PlanDriverRun& run, const store::TraceReader& reader,
+               const pricing::PricingPolicy& prices) {
+  const auto& total = run.report.grand_total();
+  util::Table bill({"component", "amount"});
+  bill.add_row({"storage (Cs)", util::format_money(total.storage)});
+  bill.add_row({"reads (Cr)", util::format_money(total.read)});
+  bill.add_row({"writes (Cw)", util::format_money(total.write)});
+  bill.add_row({"tier changes (Cc)", util::format_money(total.change)});
+  bill.add_row({"total", util::format_money(total.total())});
+  std::cout << run.policy_name << " over days " << run.start_day << ".."
+            << reader.days() << " (" << prices.name() << ", "
+            << run.shard_count << " shards, " << run.replanned_shards
+            << " planned):\n"
+            << bill.to_string() << "tier changes: "
+            << util::format_count(run.report.tier_changes())
+            << ", wall: " << util::format_double(run.wall_seconds, 2)
+            << "s, decide sum: "
+            << util::format_double(run.decision_seconds, 2)
+            << "s, per-file decide p50/p99: "
+            << util::format_double(run.file_decide_p50_ns, 0) << "/"
+            << util::format_double(run.file_decide_p99_ns, 0) << " ns\n";
+}
+
+struct DriverConfig {
+  core::PlanDriverOptions options;
+  std::vector<std::string> policies;  ///< sweep set; front() = current
+};
+
+/// Resident serve loop: line commands on stdin drive a warm PlanDriver per
+/// policy (the policy object — e.g. a deployed A3C agent — and its per-shard
+/// report cache persist across commands). Emits one CSV row per plan/replan.
+int serve_loop(const store::TraceReader& reader,
+               const pricing::PricingPolicy& prices, DriverConfig config) {
+  std::map<std::string, std::unique_ptr<core::TieringPolicy>> policies;
+  std::map<std::string, std::unique_ptr<core::PlanDriver>> drivers;
+  std::string current = config.policies.front();
+
+  const auto driver_for =
+      [&](const std::string& name) -> core::PlanDriver* {
+    auto it = drivers.find(name);
+    if (it != drivers.end()) return it->second.get();
+    std::unique_ptr<core::TieringPolicy> policy = make_policy(name);
+    if (policy == nullptr) return nullptr;
+    auto driver = std::make_unique<core::PlanDriver>(reader, prices, *policy,
+                                                     config.options);
+    core::PlanDriver* raw = driver.get();
+    policies.emplace(name, std::move(policy));
+    drivers.emplace(name, std::move(driver));
+    return raw;
+  };
+
+  std::cout << kRowHeader << std::endl;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream args(line);
+    std::string cmd;
+    args >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    try {
+      if (cmd == "plan" || cmd == "replan") {
+        core::PlanDriver* driver = driver_for(current);
+        if (driver == nullptr) {
+          std::cout << "error,unknown policy " << current << std::endl;
+          continue;
+        }
+        const core::PlanDriverRun run =
+            cmd == "plan" ? driver->run() : driver->replan();
+        std::cout << format_row(cmd, config.options.shard_files, run)
+                  << std::endl;
+      } else if (cmd == "touch") {
+        std::size_t first = 0, count = 0;
+        if (!(args >> first >> count)) {
+          std::cout << "error,touch needs FIRST COUNT" << std::endl;
+          continue;
+        }
+        // Dirty marks apply to every warm driver so a later `policy X` +
+        // `replan` re-plans the touched shards under that policy too.
+        for (auto& [name, driver] : drivers) driver->mark_dirty(first, count);
+        if (drivers.empty())
+          std::cout << "error,no warm driver to touch (run plan first)"
+                    << std::endl;
+        else
+          std::cout << "touched," << first << "," << count << std::endl;
+      } else if (cmd == "policy") {
+        std::string name;
+        args >> name;
+        if (make_policy(name) == nullptr) {
+          std::cout << "error,unknown policy " << name << std::endl;
+          continue;
+        }
+        current = name;
+        std::cout << "policy," << name << std::endl;
+      } else if (cmd == "sweep") {
+        for (const std::string& name : config.policies) {
+          core::PlanDriver* driver = driver_for(name);
+          if (driver == nullptr) continue;
+          std::cout << format_row("sweep", config.options.shard_files,
+                                  driver->run())
+                    << std::endl;
+        }
+      } else if (cmd == "stats") {
+        core::PlanDriver* driver = driver_for(current);
+        std::cout << "stats,policy=" << current
+                  << ",shards=" << (driver ? driver->shard_count() : 0)
+                  << ",dirty=" << (driver ? driver->dirty_shard_count() : 0)
+                  << ",warm_policies=" << drivers.size() << std::endl;
+      } else if (cmd == "help") {
+        std::cout << "commands: plan | replan | touch FIRST COUNT | "
+                     "policy NAME | sweep | stats | quit"
+                  << std::endl;
+      } else {
+        std::cout << "error,unknown command " << cmd << std::endl;
+      }
+    } catch (const std::exception& error) {
+      std::cout << "error," << error.what() << std::endl;
+    }
+  }
+  return 0;
+}
+
+/// Plans a .mct store through the PlanDriver: one-shot, sweep (multiple
+/// policies and/or shard sizes), --replan self-check, or --serve loop.
+int cmd_plan_store(const util::Cli& cli) {
+  const store::TraceReader reader(cli.positional().front());
+  const std::string preset = cli.str("preset");
+  const pricing::PricingPolicy prices =
+      preset == "s3"    ? pricing::PricingPolicy::s3_like()
+      : preset == "gcs" ? pricing::PricingPolicy::gcs_like()
+                        : pricing::PricingPolicy::azure_2020();
+
+  DriverConfig config;
+  config.policies = split_list(cli.str("policy"));
+  if (config.policies.empty()) {
+    std::cerr << "plan: --policy list is empty\n";
+    return 1;
+  }
+  for (const std::string& name : config.policies)
+    if (make_policy(name) == nullptr) {
+      std::cerr << "plan: unknown policy '" << name << "'\n";
+      return 1;
+    }
+  config.options.shard_files =
+      static_cast<std::size_t>(cli.integer("shard-files"));
+  config.options.start_day =
+      cli.integer("start") > 0
+          ? static_cast<std::size_t>(cli.integer("start"))
+          : (reader.days() > 35 ? reader.days() - 35 : 1);
+  config.options.pipeline = cli.boolean("pipeline");
+  config.options.prefetch_depth =
+      static_cast<std::size_t>(cli.integer("prefetch-depth"));
+
+  if (cli.boolean("serve")) return serve_loop(reader, prices, config);
+
+  const std::string format = cli.str("format");
+  const std::vector<std::string> shard_list = split_list(cli.str("sweep-shard-files"));
+  std::vector<std::size_t> shard_sizes;
+  for (const std::string& s : shard_list)
+    shard_sizes.push_back(static_cast<std::size_t>(std::stoll(s)));
+  if (shard_sizes.empty()) shard_sizes.push_back(config.options.shard_files);
+
+  // --replan FIRST:COUNT — full plan, touch, incremental replan, and verify
+  // the replanned bill is byte-identical to the full plan's.
+  if (!cli.str("replan").empty()) {
+    std::size_t first = 0, count = 0;
+    if (std::sscanf(cli.str("replan").c_str(), "%zu:%zu", &first, &count) != 2) {
+      std::cerr << "plan: --replan expects FIRST:COUNT\n";
+      return 1;
+    }
+    std::unique_ptr<core::TieringPolicy> policy =
+        make_policy(config.policies.front());
+    core::PlanDriver driver(reader, prices, *policy, config.options);
+    const core::PlanDriverRun full = driver.run();
+    driver.mark_dirty(first, count);
+    const core::PlanDriverRun incremental = driver.replan();
+    std::cout << kRowHeader << "\n"
+              << format_row("plan", config.options.shard_files, full) << "\n"
+              << format_row("replan", config.options.shard_files, incremental)
+              << "\n";
+    const bool identical =
+        bills_identical(full.report, incremental.report);
+    std::cout << "replan bill vs full plan: "
+              << (identical ? "byte-identical" : "MISMATCH") << "\n";
+    return identical ? 0 : 1;
+  }
+
+  // Sweep / one-shot: enumerate policy x shard-size cells.
+  const bool sweep = config.policies.size() > 1 || shard_sizes.size() > 1;
+  std::ostringstream csv;
+  csv << kRowHeader << "\n";
+  util::Table table({"policy", "shard_files", "shards", "wall s",
+                     "decide-sum s", "p50 ns", "p99 ns", "total"});
+  core::PlanDriverRun last;
+  for (const std::string& name : config.policies) {
+    std::unique_ptr<core::TieringPolicy> policy = make_policy(name);
+    for (const std::size_t shard_files : shard_sizes) {
+      core::PlanDriverOptions options = config.options;
+      options.shard_files = shard_files;
+      core::PlanDriver driver(reader, prices, *policy, options);
+      core::PlanDriverRun run = driver.run();
+      csv << format_row("plan", shard_files, run) << "\n";
+      table.add_row(
+          {run.policy_name, util::format_count(shard_files),
+           std::to_string(run.shard_count),
+           util::format_double(run.wall_seconds, 2),
+           util::format_double(run.decision_seconds, 2),
+           util::format_double(run.file_decide_p50_ns, 0),
+           util::format_double(run.file_decide_p99_ns, 0),
+           util::format_money(run.report.grand_total().total())});
+      last = std::move(run);
+    }
+  }
+
+  if (format == "csv") {
+    std::cout << csv.str();
+  } else if (sweep) {
+    std::cout << "sweep over " << cli.positional().front() << " ("
+              << prices.name() << "):\n"
+              << table.to_string();
+  } else {
+    print_run(last, reader, prices);
+  }
+  if (!cli.str("out").empty()) {
+    std::ofstream(cli.str("out")) << csv.str();
+    std::cout << "[rows] " << cli.str("out") << "\n";
+  }
+
+  obs::RunReport report = obs::make_report("minicost_plan");
+  report.metrics.emplace_back("pipeline_wall_seconds", last.wall_seconds);
+  report.metrics.emplace_back("decide_sum_seconds", last.decision_seconds);
+  report.metrics.emplace_back("file_decide_p50_ns", last.file_decide_p50_ns);
+  report.metrics.emplace_back("file_decide_p99_ns", last.file_decide_p99_ns);
+  report.metrics.emplace_back("total_cost", last.report.grand_total().total());
+  std::cout << "[report] "
+            << obs::write_report(report,
+                                 util::env_str("MINICOST_OUT", "bench_out"))
+                   .string()
+            << "\n";
+  return 0;
+}
+
 int cmd_plan(int argc, const char* const* argv) {
-  util::Cli cli("minicost plan", "bill a tiering policy over a trace");
-  cli.add_flag("policy", "optimal", "hot | cold | greedy | optimal | mpc");
+  util::Cli cli("minicost plan",
+                "bill tiering policies over a trace (.csv in-memory, .mct "
+                "through the pipelined PlanDriver)");
+  cli.add_flag("policy", "optimal",
+               "hot | cold | greedy | optimal | mpc (comma list sweeps)");
   cli.add_flag("start", "0", "first billed day (default: last 35 days)");
   cli.add_flag("preset", "azure", "price preset");
+  cli.add_flag("shard-files", "65536", ".mct files per shard (0 = one shard)");
+  cli.add_flag("pipeline", "true",
+               "overlap shard materialization with decide/billing (.mct)");
+  cli.add_flag("prefetch-depth", "1", "shards readied ahead (pipeline mode)");
+  cli.add_flag("serve", "false",
+               "resident mode: read plan/replan/touch/policy/sweep commands "
+               "from stdin (.mct)");
+  cli.add_flag("replan", "",
+               "FIRST:COUNT — plan, touch that file range, incrementally "
+               "replan, verify byte-identical (.mct)");
+  cli.add_flag("sweep-shard-files", "",
+               "comma list of shard sizes to sweep (.mct)");
+  cli.add_flag("format", "table", "table | csv");
+  cli.add_flag("out", "", "also write the CSV rows to this file (.mct)");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().empty()) {
     std::cerr << "plan: need a trace file\n";
     return 1;
   }
-  const trace::RequestTrace tr = trace::load_trace(cli.positional().front());
+  const std::string& input = cli.positional().front();
+  if (input.size() > 4 && input.compare(input.size() - 4, 4, ".mct") == 0)
+    return cmd_plan_store(cli);
+
+  const trace::RequestTrace tr = trace::load_trace(input);
   const std::string preset = cli.str("preset");
   const pricing::PricingPolicy prices =
       preset == "s3"    ? pricing::PricingPolicy::s3_like()
@@ -124,15 +445,9 @@ int cmd_plan(int argc, const char* const* argv) {
   options.initial_tiers =
       core::static_initial_tiers(tr, prices, options.start_day);
 
-  std::unique_ptr<core::TieringPolicy> policy;
-  const std::string which = cli.str("policy");
-  if (which == "hot") policy = core::make_hot_policy();
-  else if (which == "cold") policy = core::make_cold_policy();
-  else if (which == "greedy") policy = std::make_unique<core::GreedyPolicy>();
-  else if (which == "mpc") policy = std::make_unique<core::ForecastMpcPolicy>();
-  else if (which == "optimal") policy = std::make_unique<core::OptimalPolicy>();
-  else {
-    std::cerr << "plan: unknown policy '" << which << "'\n";
+  std::unique_ptr<core::TieringPolicy> policy = make_policy(cli.str("policy"));
+  if (policy == nullptr) {
+    std::cerr << "plan: unknown policy '" << cli.str("policy") << "'\n";
     return 1;
   }
 
