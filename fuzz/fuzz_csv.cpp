@@ -1,0 +1,22 @@
+// Fuzz target: the CSV trace container (trace/trace_io.hpp). Arbitrary
+// bytes must either parse into a trace that passes validate() or raise a
+// std::exception — the loader's strict from_chars parsing and day-count cap
+// exist precisely so no input reaches an overflowing width check or a giant
+// reserve().
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+
+#include "fuzz_input_file.hpp"
+#include "trace/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const auto& path = minicost::fuzz::stage_input(data, size, "csv");
+  try {
+    (void)minicost::trace::load_trace(path);
+  } catch (const std::exception&) {
+    // Malformed rows reject with a message; that is the contract.
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+// Stages a fuzz input as an on-disk file for the path-based parsers
+// (TraceReader, load_trace). One scratch file per process, truncated and
+// rewritten per input, so replaying a large corpus does not churn inodes.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace minicost::fuzz {
+
+/// Writes `size` bytes to a process-private scratch path and returns it.
+inline const std::filesystem::path& stage_input(const std::uint8_t* data,
+                                                std::size_t size,
+                                                const char* tag) {
+  static const std::filesystem::path path = [] {
+    const char* dir = std::getenv("TMPDIR");
+    return std::filesystem::path(dir != nullptr ? dir : "/tmp");
+  }();
+  static std::filesystem::path file;
+  if (file.empty())
+    file = path / ("minicost_fuzz_" + std::string(tag) + "_" +
+                   std::to_string(::getpid()) + ".bin");
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  out.close();
+  return file;
+}
+
+}  // namespace minicost::fuzz

@@ -1,0 +1,23 @@
+// Fuzz target: the `--serve` command grammar plus the CLI's FIRST:COUNT and
+// comma-list parsers. These are *total* functions — any byte sequence maps
+// to a command or a one-line error. No try/catch here on purpose: an
+// exception escaping parse_serve_command is itself the bug this target
+// exists to catch (the resident serve loop must keep serving).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/serve_command.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  (void)minicost::core::parse_serve_command(text);
+  std::size_t first = 0;
+  std::size_t count = 0;
+  (void)minicost::core::parse_shard_range(text, &first, &count);
+  std::vector<std::size_t> sizes;
+  (void)minicost::core::parse_size_list(text, &sizes);
+  return 0;
+}

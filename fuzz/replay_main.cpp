@@ -1,0 +1,62 @@
+// Standalone corpus-replay driver for toolchains without the libFuzzer
+// runtime (GCC builds, plain test runs). Links against the same
+// LLVMFuzzerTestOneInput as the instrumented binary and feeds it every file
+// named on the command line; directory arguments are walked in sorted order
+// so replay order — and therefore any crash — is deterministic. Exit 0
+// means every input was consumed without crashing; this is how the
+// committed regression corpus runs as ctest cases in every build.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::filesystem::path> collect(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg = argv[i];
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> dir;
+      for (const auto& entry : std::filesystem::directory_iterator(arg))
+        if (entry.is_regular_file()) dir.push_back(entry.path());
+      std::sort(dir.begin(), dir.end());
+      inputs.insert(inputs.end(), dir.begin(), dir.end());
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto inputs = collect(argc, argv);
+  if (inputs.empty()) {
+    std::cerr << "usage: " << argv[0] << " <corpus-file-or-dir>...\n";
+    return 2;
+  }
+  for (const auto& path : inputs) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot read " << path << "\n";
+      return 2;
+    }
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                           bytes.size());
+    std::cout << "ok " << path.filename().string() << " (" << bytes.size()
+              << " bytes)\n";
+  }
+  std::cout << inputs.size() << " corpus inputs replayed\n";
+  return 0;
+}

@@ -36,7 +36,10 @@ std::size_t PlanDriver::dirty_shard_count() const noexcept {
 }
 
 void PlanDriver::mark_dirty(std::size_t first, std::size_t count) {
-  if (first + count > reader_.file_count())
+  // Overflow-safe form of first + count > file_count (`touch SIZE_MAX 2`
+  // must not wrap past the check).
+  if (count > reader_.file_count() ||
+      first > reader_.file_count() - count)
     throw std::out_of_range("PlanDriver::mark_dirty: bad file range");
   if (count == 0 || shards_.empty()) return;
   // Every shard but the last has the same width, so the partition stride is

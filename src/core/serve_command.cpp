@@ -1,0 +1,149 @@
+#include "core/serve_command.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace minicost::core {
+namespace {
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+         c == '\f';
+}
+
+/// Splits on blanks. Returns false (with `err` set) when a token exceeds
+/// kServeMaxTokenBytes or contains a NUL; otherwise fills `out`.
+bool split_tokens(std::string_view line, std::vector<std::string_view>* out,
+                  std::string* err) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    const std::size_t start = i;
+    while (i < line.size() && !is_space(line[i])) {
+      if (line[i] == '\0') {
+        *err = "NUL byte in input";
+        return false;
+      }
+      ++i;
+    }
+    const std::string_view tok = line.substr(start, i - start);
+    if (tok.size() > kServeMaxTokenBytes) {
+      *err = "token exceeds " + std::to_string(kServeMaxTokenBytes) +
+             " bytes";
+      return false;
+    }
+    out->push_back(tok);
+  }
+  return true;
+}
+
+/// Plain decimal size_t: digits only (no sign, no hex, no leading blanks),
+/// whole token consumed, value fits.
+bool parse_size(std::string_view tok, std::size_t* out) {
+  if (tok.empty() || !std::isdigit(static_cast<unsigned char>(tok.front())))
+    return false;
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value, 10);
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool valid_policy_name(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+ServeCommand error(std::string message) {
+  ServeCommand cmd;
+  cmd.kind = ServeCommand::Kind::kError;
+  cmd.error = std::move(message);
+  return cmd;
+}
+
+}  // namespace
+
+ServeCommand parse_serve_command(std::string_view line) {
+  ServeCommand cmd;
+  std::vector<std::string_view> tokens;
+  std::string err;
+  if (!split_tokens(line, &tokens, &err)) return error(err);
+  if (tokens.empty() || tokens.front().front() == '#') return cmd;  // kNone
+
+  const std::string_view verb = tokens.front();
+  const auto expect_arity = [&](std::size_t args) -> bool {
+    return tokens.size() == args + 1;
+  };
+
+  if (verb == "plan" || verb == "replan" || verb == "sweep" ||
+      verb == "stats" || verb == "help" || verb == "quit" ||
+      verb == "exit") {
+    if (!expect_arity(0))
+      return error(std::string(verb) + " takes no arguments");
+    cmd.kind = verb == "plan"     ? ServeCommand::Kind::kPlan
+               : verb == "replan" ? ServeCommand::Kind::kReplan
+               : verb == "sweep"  ? ServeCommand::Kind::kSweep
+               : verb == "stats"  ? ServeCommand::Kind::kStats
+               : verb == "help"   ? ServeCommand::Kind::kHelp
+                                  : ServeCommand::Kind::kQuit;
+    return cmd;
+  }
+  if (verb == "touch") {
+    if (!expect_arity(2)) return error("touch needs FIRST COUNT");
+    if (!parse_size(tokens[1], &cmd.first) ||
+        !parse_size(tokens[2], &cmd.count))
+      return error("touch FIRST COUNT must be plain nonnegative integers");
+    cmd.kind = ServeCommand::Kind::kTouch;
+    return cmd;
+  }
+  if (verb == "policy") {
+    if (!expect_arity(1)) return error("policy needs exactly one NAME");
+    if (!valid_policy_name(tokens[1]))
+      return error("policy name must match [A-Za-z0-9_-]+");
+    cmd.kind = ServeCommand::Kind::kPolicy;
+    cmd.name = std::string(tokens[1]);
+    return cmd;
+  }
+  return error("unknown command " + std::string(verb));
+}
+
+bool parse_shard_range(std::string_view text, std::size_t* first,
+                       std::size_t* count) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos) return false;
+  std::size_t f = 0, c = 0;
+  if (!parse_size(text.substr(0, colon), &f) ||
+      !parse_size(text.substr(colon + 1), &c))
+    return false;
+  *first = f;
+  *count = c;
+  return true;
+}
+
+bool parse_size_list(std::string_view text, std::vector<std::size_t>* out) {
+  std::vector<std::size_t> parsed;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view item = text.substr(start, end - start);
+    if (!item.empty()) {
+      std::size_t value = 0;
+      if (!parse_size(item, &value)) return false;
+      parsed.push_back(value);
+    }
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  out->insert(out->end(), parsed.begin(), parsed.end());
+  return true;
+}
+
+}  // namespace minicost::core

@@ -1,0 +1,65 @@
+#pragma once
+// Parsing for the `minicost plan --serve` stdin protocol and the related
+// CLI range/list flags, split out of the CLI so the grammar is a pure
+// function of the input line: no driver state, no streams, no exceptions.
+// That makes it unit-testable and directly fuzzable (fuzz/fuzz_serve.cpp);
+// the serve loop stays resident no matter what arrives on stdin.
+//
+// Grammar (one command per line; '#' starts a comment line):
+//   plan | replan | sweep | stats | help | quit | exit
+//   touch FIRST COUNT          plain decimal, fits in size_t
+//   policy NAME                [A-Za-z0-9_-]+
+//
+// Malformed input — overlong tokens, negative or non-numeric numbers,
+// trailing garbage, embedded NULs — parses to Kind::kError with a one-line
+// message; it never throws.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace minicost::core {
+
+/// Longest token the serve protocol accepts. Commands and policy names are
+/// short; anything longer is hostile or a paste accident, and rejecting it
+/// bounds error-message size.
+inline constexpr std::size_t kServeMaxTokenBytes = 256;
+
+struct ServeCommand {
+  enum class Kind {
+    kNone,    ///< blank or comment line: ignore silently
+    kPlan,
+    kReplan,
+    kTouch,
+    kPolicy,
+    kSweep,
+    kStats,
+    kHelp,
+    kQuit,
+    kError,   ///< malformed: report `error` and keep serving
+  };
+
+  Kind kind = Kind::kNone;
+  std::size_t first = 0;  ///< touch: first file of the dirty range
+  std::size_t count = 0;  ///< touch: number of files
+  std::string name;       ///< policy: requested policy name
+  std::string error;      ///< kError: one-line reason
+};
+
+/// Parses one serve-loop input line. Never throws.
+ServeCommand parse_serve_command(std::string_view line);
+
+/// Parses "FIRST:COUNT" (both plain decimal size_t, no sign, no trailing
+/// garbage) as used by `--replan`. Returns false without touching the
+/// outputs on malformed input.
+bool parse_shard_range(std::string_view text, std::size_t* first,
+                       std::size_t* count);
+
+/// Parses a comma-separated list of plain decimal size_t values as used by
+/// `--sweep-shard-files`. Empty items (",,", trailing comma) are skipped;
+/// any non-numeric or out-of-range item fails the whole parse. Returns
+/// false and leaves `out` untouched on malformed input.
+bool parse_size_list(std::string_view text, std::vector<std::size_t>* out);
+
+}  // namespace minicost::core

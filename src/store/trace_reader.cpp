@@ -79,6 +79,21 @@ void TraceReader::validate(const std::filesystem::path& path) {
                    std::to_string(mapped_bytes_) +
                    " (truncated or trailing garbage)");
 
+  // Every section must lie inside the mapping before anything dereferences
+  // an offset. Overflow-safe form: `offset + bytes <= mapped` would wrap for
+  // a crafted header (e.g. names_bytes == 2^64 - names_offset slips a
+  // zero-length "section" past an additive check, then the CRC pass reads
+  // ~2^64 bytes). A valid header CRC proves integrity, not honesty.
+  const auto section_in_file = [&](std::uint64_t offset,
+                                   std::uint64_t bytes) noexcept {
+    return offset <= mapped_bytes_ && bytes <= mapped_bytes_ - offset;
+  };
+  if (!section_in_file(header_.freq_offset, header_.freq_bytes) ||
+      !section_in_file(header_.file_table_offset, header_.file_table_bytes) ||
+      !section_in_file(header_.names_offset, header_.names_bytes) ||
+      !section_in_file(header_.groups_offset, header_.groups_bytes))
+    fail(path, "section extends past the end of the file");
+
   const std::uint64_t stride = series_stride_bytes(header_.days);
   if (header_.series_stride != stride)
     fail(path, "series stride " + std::to_string(header_.series_stride) +
@@ -111,10 +126,17 @@ void TraceReader::validate(const std::filesystem::path& path) {
   file_table_ = reinterpret_cast<const FileEntry*>(at(header_.file_table_offset));
   for (std::uint64_t i = 0; i < header_.file_count; ++i) {
     const FileEntry& e = file_table_[i];
-    if (e.name_offset + e.name_bytes > header_.names_bytes || e.reserved != 0)
+    // name_offset near 2^64 must not wrap the slice check into range.
+    if (e.name_bytes > header_.names_bytes ||
+        e.name_offset > header_.names_bytes - e.name_bytes || e.reserved != 0)
       fail(path, "file table entry " + std::to_string(i) + " is malformed");
   }
 
+  // Bound the count before reserve(): a crafted group_count of 2^60 must be
+  // a parse error, not an allocation attempt. Every record carries at least
+  // its count + reserved words.
+  if (header_.group_count > header_.groups_bytes / (2 * sizeof(std::uint32_t)))
+    fail(path, "group count exceeds what the group section could hold");
   group_offsets_.reserve(header_.group_count);
   std::uint64_t pos = 0;
   for (std::uint64_t g = 0; g < header_.group_count; ++g) {
@@ -236,7 +258,7 @@ void TraceReader::verify_checksums() const {
 
 trace::RequestTrace TraceReader::materialize_shard(std::size_t first,
                                                    std::size_t count) const {
-  if (first + count > header_.file_count)
+  if (count > header_.file_count || first > header_.file_count - count)
     throw std::out_of_range("TraceReader::materialize_shard: bad file range");
   MC_OBS_COUNT("store.reader.files_materialized", count);
   std::vector<trace::FileRecord> files;
@@ -275,7 +297,7 @@ trace::RequestTrace TraceReader::materialize_shard(std::size_t first,
 
 std::future<trace::RequestTrace> TraceReader::materialize_shard_async(
     std::size_t first, std::size_t count, util::ThreadPool* pool) const {
-  if (first + count > header_.file_count)
+  if (count > header_.file_count || first > header_.file_count - count)
     throw std::out_of_range(
         "TraceReader::materialize_shard_async: bad file range");
   util::ThreadPool& target = pool != nullptr ? *pool : util::ThreadPool::shared();
@@ -289,7 +311,7 @@ trace::RequestTrace TraceReader::materialize() const {
 
 void TraceReader::release_frequency_range(std::size_t first,
                                           std::size_t count) const {
-  if (first + count > header_.file_count)
+  if (count > header_.file_count || first > header_.file_count - count)
     throw std::out_of_range(
         "TraceReader::release_frequency_range: bad file range");
   const auto page = static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));

@@ -88,6 +88,13 @@ RequestTrace load_trace(const std::filesystem::path& path) {
                              rows[0][1] + "' (this build reads " +
                              std::to_string(kFormatVersion) + ")");
   const auto days = to_integer<std::size_t>(rows[0][2], "days");
+  // Same horizon cap as the .mct reader: without it a crafted day count
+  // wraps the `3 + 2 * days` row-width check (2^63 + 1 doubles to 2) and
+  // turns the reserve() calls below into giant allocation attempts.
+  constexpr std::size_t kMaxDays = std::size_t{1} << 30;
+  if (days > kMaxDays)
+    throw std::runtime_error("load_trace: implausible day count '" +
+                             rows[0][2] + "'");
 
   std::vector<FileRecord> files;
   std::vector<CoRequestGroup> groups;

@@ -1,0 +1,146 @@
+// The serve-protocol grammar must be total: every input line parses to a
+// command or a one-line error, never an exception — the resident serve loop
+// keeps serving whatever arrives on stdin (fuzz/fuzz_serve.cpp hammers the
+// same entry points).
+#include "core/serve_command.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace minicost::core {
+namespace {
+
+using Kind = ServeCommand::Kind;
+
+TEST(ServeCommandTest, BlankAndCommentLinesAreSilent) {
+  EXPECT_EQ(parse_serve_command("").kind, Kind::kNone);
+  EXPECT_EQ(parse_serve_command("   \t  ").kind, Kind::kNone);
+  EXPECT_EQ(parse_serve_command("# plan later").kind, Kind::kNone);
+}
+
+TEST(ServeCommandTest, SimpleVerbs) {
+  EXPECT_EQ(parse_serve_command("plan").kind, Kind::kPlan);
+  EXPECT_EQ(parse_serve_command("replan").kind, Kind::kReplan);
+  EXPECT_EQ(parse_serve_command("sweep").kind, Kind::kSweep);
+  EXPECT_EQ(parse_serve_command("stats").kind, Kind::kStats);
+  EXPECT_EQ(parse_serve_command("help").kind, Kind::kHelp);
+  EXPECT_EQ(parse_serve_command("quit").kind, Kind::kQuit);
+  EXPECT_EQ(parse_serve_command("exit").kind, Kind::kQuit);
+  EXPECT_EQ(parse_serve_command("  plan  ").kind, Kind::kPlan);
+}
+
+TEST(ServeCommandTest, SimpleVerbsRejectTrailingGarbage) {
+  const ServeCommand cmd = parse_serve_command("plan now");
+  EXPECT_EQ(cmd.kind, Kind::kError);
+  EXPECT_NE(cmd.error.find("takes no arguments"), std::string::npos);
+}
+
+TEST(ServeCommandTest, TouchParsesRange) {
+  const ServeCommand cmd = parse_serve_command("touch 128 64");
+  ASSERT_EQ(cmd.kind, Kind::kTouch);
+  EXPECT_EQ(cmd.first, 128u);
+  EXPECT_EQ(cmd.count, 64u);
+}
+
+TEST(ServeCommandTest, TouchRejectsBadRanges) {
+  // The old istream-based parser wrapped "-3" to SIZE_MAX-2; every one of
+  // these must now be a clean error.
+  for (const char* line :
+       {"touch", "touch 1", "touch 1 2 3", "touch -3 5", "touch 1 -5",
+        "touch 1.5 2", "touch one 2", "touch 0x10 2",
+        "touch 99999999999999999999999999 1", "touch +1 2"}) {
+    const ServeCommand cmd = parse_serve_command(line);
+    EXPECT_EQ(cmd.kind, Kind::kError) << line;
+    EXPECT_FALSE(cmd.error.empty()) << line;
+  }
+}
+
+TEST(ServeCommandTest, TouchAcceptsSizeMax) {
+  const auto max = std::numeric_limits<std::size_t>::max();
+  const ServeCommand cmd =
+      parse_serve_command("touch " + std::to_string(max) + " 0");
+  ASSERT_EQ(cmd.kind, Kind::kTouch);
+  EXPECT_EQ(cmd.first, max);  // range validity is the driver's call
+}
+
+TEST(ServeCommandTest, PolicyParsesName) {
+  const ServeCommand cmd = parse_serve_command("policy greedy");
+  ASSERT_EQ(cmd.kind, Kind::kPolicy);
+  EXPECT_EQ(cmd.name, "greedy");
+}
+
+TEST(ServeCommandTest, PolicyRejectsBadNames) {
+  for (const char* line :
+       {"policy", "policy a b", "policy ../etc", "policy a%b"}) {
+    EXPECT_EQ(parse_serve_command(line).kind, Kind::kError) << line;
+  }
+}
+
+TEST(ServeCommandTest, UnknownCommandIsError) {
+  const ServeCommand cmd = parse_serve_command("launch");
+  EXPECT_EQ(cmd.kind, Kind::kError);
+  EXPECT_NE(cmd.error.find("unknown command"), std::string::npos);
+}
+
+TEST(ServeCommandTest, OverlongTokenIsError) {
+  const std::string line = "policy " + std::string(100000, 'a');
+  const ServeCommand cmd = parse_serve_command(line);
+  EXPECT_EQ(cmd.kind, Kind::kError);
+  EXPECT_NE(cmd.error.find("exceeds"), std::string::npos);
+}
+
+TEST(ServeCommandTest, EmbeddedNulIsError) {
+  std::string line = "plan";
+  line += '\0';
+  line += "x";
+  EXPECT_EQ(parse_serve_command(line).kind, Kind::kError);
+}
+
+TEST(ShardRangeTest, ParsesFirstColonCount) {
+  std::size_t first = 7, count = 7;
+  ASSERT_TRUE(parse_shard_range("128:64", &first, &count));
+  EXPECT_EQ(first, 128u);
+  EXPECT_EQ(count, 64u);
+}
+
+TEST(ShardRangeTest, RejectsMalformed) {
+  std::size_t first = 7, count = 7;
+  for (const char* text :
+       {"", ":", "1:", ":2", "1", "1:2:3", "-1:2", "1:-2", "a:b", "1:2x",
+        "1.5:2", " 1:2", "99999999999999999999999999:1"}) {
+    EXPECT_FALSE(parse_shard_range(text, &first, &count)) << text;
+    EXPECT_EQ(first, 7u) << text;  // outputs untouched on failure
+    EXPECT_EQ(count, 7u) << text;
+  }
+}
+
+TEST(SizeListTest, ParsesCommaList) {
+  std::vector<std::size_t> out;
+  ASSERT_TRUE(parse_size_list("1,64,4096", &out));
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 64, 4096}));
+}
+
+TEST(SizeListTest, EmptyItemsAreSkipped) {
+  std::vector<std::size_t> out;
+  ASSERT_TRUE(parse_size_list(",1,,2,", &out));
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2}));
+  out.clear();
+  ASSERT_TRUE(parse_size_list("", &out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SizeListTest, RejectsNonNumericItems) {
+  // The old path fed std::stoll and threw out of the CLI on "64,zzz".
+  for (const char* text :
+       {"zzz", "1,zzz", "1,-2", "1, 2", "1,2.5", "1,0x10",
+        "99999999999999999999999999"}) {
+    std::vector<std::size_t> out{42};
+    EXPECT_FALSE(parse_size_list(text, &out)) << text;
+    EXPECT_EQ(out, (std::vector<std::size_t>{42})) << text;  // untouched
+  }
+}
+
+}  // namespace
+}  // namespace minicost::core

@@ -1,0 +1,24 @@
+// Bad: a double += hidden behind an alias and a call chain. The simulator
+// never touches the accumulator directly — only an AST-level reachability
+// walk ties StorageSimulator::advance() to Helper::fold().
+namespace mini {
+
+using Money = double;
+
+class Helper {
+ public:
+  void fold(Money v) { acc_ += v; }
+
+ private:
+  Money acc_ = 0.0;
+};
+
+class StorageSimulator {
+ public:
+  void advance() { helper_.fold(1.0); }
+
+ private:
+  Helper helper_;
+};
+
+}  // namespace mini

@@ -1,0 +1,36 @@
+// Good: the reachable accumulation goes through stats::ExactSum, and a
+// double += that is NOT reachable from simulator/billing seeds (free
+// function never called from them) is out of scope for the rule.
+namespace mini {
+
+namespace stats {
+class ExactSum {
+ public:
+  void add(double v);
+  double value() const;
+};
+}  // namespace stats
+
+class Helper {
+ public:
+  void fold(double v) { acc_.add(v); }
+
+ private:
+  stats::ExactSum acc_;
+};
+
+class StorageSimulator {
+ public:
+  void advance() { helper_.fold(1.0); }
+
+ private:
+  Helper helper_;
+};
+
+double unreachable_scratch(double x) {
+  double t = 0.0;
+  t += x;  // never called from billing code: not in the reachable set
+  return t;
+}
+
+}  // namespace mini

@@ -1,0 +1,3 @@
+namespace mini {
+int core_entry() { return 1; }
+}  // namespace mini

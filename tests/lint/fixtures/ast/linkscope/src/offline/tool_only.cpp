@@ -1,0 +1,20 @@
+// NOT linked into minicost_core (offline-only library): the same iteration
+// pattern is out of the rule's scope — determinism of the planner/billing
+// binary is unaffected.
+#include <unordered_map>
+
+namespace mini {
+
+class OfflineTally {
+ public:
+  double sum() {
+    double s = 0.0;
+    for (const auto& kv : views_) s += kv.second;
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, double> views_;
+};
+
+}  // namespace mini

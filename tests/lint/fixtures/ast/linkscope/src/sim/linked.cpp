@@ -1,0 +1,18 @@
+// In minicost_core's link closure: unordered iteration here is flagged.
+#include <unordered_map>
+
+namespace mini {
+
+class Tally {
+ public:
+  double sum() {
+    double s = 0.0;
+    for (const auto& kv : views_) s += kv.second;
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, double> views_;
+};
+
+}  // namespace mini

@@ -1,0 +1,19 @@
+// Bad: a method of an MC_GUARDED_BY-annotated class re-enters the pool
+// while its scoped lock is still live.
+namespace mini {
+
+class Registry {
+ public:
+  void flush() {
+    util::MutexLock lock(&mu_);
+    snapshot_ = 1;
+    pool_.submit([] {});
+  }
+
+ private:
+  util::Mutex mu_;
+  int snapshot_ MC_GUARDED_BY(mu_) = 0;
+  util::ThreadPool pool_;
+};
+
+}  // namespace mini

@@ -1,0 +1,22 @@
+// Good: the lock is dropped (inner scope ends) before the pool call, and a
+// non-pool call under the lock is fine.
+namespace mini {
+
+class Registry {
+ public:
+  void flush() {
+    {
+      util::MutexLock lock(&mu_);
+      snapshot_ = compute();
+    }
+    pool_.submit([] {});
+  }
+
+ private:
+  int compute();
+  util::Mutex mu_;
+  int snapshot_ MC_GUARDED_BY(mu_) = 0;
+  util::ThreadPool pool_;
+};
+
+}  // namespace mini

@@ -1,0 +1,16 @@
+// Bad: constructs a std:: engine behind a type alias, outside
+// src/util/rng.*. The caller is flagged too (call-graph propagation).
+#include <random>
+
+namespace mini {
+
+using Engine = std::mt19937;
+
+int helper_roll() {
+  Engine gen(42);
+  return static_cast<int>(gen());
+}
+
+int caller() { return helper_roll(); }
+
+}  // namespace mini

@@ -1,0 +1,14 @@
+// Good: consumes util::Rng instead of constructing an engine.
+namespace mini {
+
+namespace util {
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed);
+  double uniform();
+};
+}  // namespace util
+
+double sample(util::Rng& rng) { return rng.uniform(); }
+
+}  // namespace mini

@@ -1,0 +1,17 @@
+// Good: src/util/rng.* is the one place engine construction is allowed.
+#include <random>
+
+namespace mini::util {
+
+class Rng {
+ public:
+  explicit Rng(unsigned long long seed) : engine_(seed) {}
+  std::mt19937_64 engine_;
+};
+
+Rng make_rng(unsigned long long seed) {
+  std::mt19937_64 engine(seed);
+  return Rng(seed);
+}
+
+}  // namespace mini::util

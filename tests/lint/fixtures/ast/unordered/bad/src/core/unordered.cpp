@@ -1,0 +1,20 @@
+// Bad: range-for over a member whose aliased type is an unordered_map.
+#include <unordered_map>
+
+namespace mini {
+
+using CostMap = std::unordered_map<int, double>;
+
+class Planner {
+ public:
+  double sum() {
+    double s = 0.0;
+    for (const auto& kv : costs_) s += kv.second;
+    return s;
+  }
+
+ private:
+  CostMap costs_;
+};
+
+}  // namespace mini

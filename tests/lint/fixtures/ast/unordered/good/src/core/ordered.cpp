@@ -1,0 +1,23 @@
+// Good: ordered container iteration, plus unordered lookup without
+// iteration (lookups are order-independent and allowed).
+#include <map>
+#include <unordered_map>
+
+namespace mini {
+
+using CostMap = std::map<int, double>;
+
+class Planner {
+ public:
+  double sum() {
+    double s = 0.0;
+    for (const auto& kv : costs_) s += kv.second;
+    return s + cache_.at(0);
+  }
+
+ private:
+  CostMap costs_;
+  std::unordered_map<int, double> cache_;
+};
+
+}  // namespace mini

@@ -3,10 +3,12 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <vector>
 
+#include "store/crc32.hpp"
 #include "store/format.hpp"
 #include "store/trace_reader.hpp"
 #include "store/trace_writer.hpp"
@@ -50,6 +52,35 @@ class StoreFormatTest : public ::testing::Test {
     ASSERT_LT(offset, bytes.size());
     bytes[offset] = static_cast<char>(bytes[offset] ^ 0x5a);
     write_all(bytes);
+  }
+
+  /// Rewrites header fields and re-signs the header CRC, so the mutation
+  /// reaches the structural checks instead of dying at the checksum. This is
+  /// how an adversarial (rather than bit-rotted) container looks.
+  template <typename Mutate>
+  void patch_header(Mutate mutate) const {
+    auto bytes = read_all();
+    Header header;
+    std::memcpy(&header, bytes.data(), sizeof header);
+    mutate(header);
+    header.crc_header = crc32(&header, offsetof(Header, crc_header));
+    std::memcpy(bytes.data(), &header, sizeof header);
+    write_all(bytes);
+  }
+
+  void expect_open_fails(const char* needle) const {
+    EXPECT_THROW(
+        {
+          try {
+            TraceReader reader(path_);
+          } catch (const std::runtime_error& error) {
+            EXPECT_NE(std::string(error.what()).find(needle),
+                      std::string::npos)
+                << error.what();
+            throw;
+          }
+        },
+        std::runtime_error);
   }
 
   std::filesystem::path path_;
@@ -284,6 +315,90 @@ TEST_F(StoreFormatTest, WriterValidatesInputs) {
   const std::vector<trace::FileId> bad_members{0, 9};
   writer.add_group(bad_members, series);
   EXPECT_THROW(writer.finish(), std::runtime_error);  // member 9 never added
+}
+
+// --- Adversarial section layouts -----------------------------------------
+// Each test re-signs the header CRC after the mutation: a matching checksum
+// proves integrity, not honesty, so the structural checks must hold on their
+// own. Every case must be a clean runtime_error — never a wild read or an
+// allocation attempt (the fuzz harness replays the same shapes under ASan).
+
+TEST_F(StoreFormatTest, RejectsNameSectionWrappingThePointerSpace) {
+  pack_trace(sample_trace(), path_);
+  // names_offset + names_bytes == 2^64 wraps an additive bounds check to 0;
+  // the groups section is then re-aimed at the whole file so the layout
+  // equalities still chain. Pre-guard, the CRC pass would read ~2^64 bytes.
+  patch_header([](Header& h) {
+    h.names_bytes = ~h.names_offset + 1;  // two's complement: sums to 2^64
+    h.groups_offset = 0;
+    h.groups_bytes = h.total_bytes;
+  });
+  expect_open_fails("section extends past the end of the file");
+}
+
+TEST_F(StoreFormatTest, RejectsFileTablePastEndOfFile) {
+  pack_trace(sample_trace(), path_);
+  patch_header([](Header& h) { h.file_table_offset = h.total_bytes + 4096; });
+  expect_open_fails("section extends past the end of the file");
+}
+
+TEST_F(StoreFormatTest, RejectsOverlappingSections) {
+  pack_trace(sample_trace(), path_);
+  // Slide the file table back on top of the frequency section. All sections
+  // stay inside the file, so only the layout equalities can object.
+  patch_header([](Header& h) { h.file_table_offset = h.freq_offset; });
+  expect_open_fails("inconsistent section layout");
+}
+
+TEST_F(StoreFormatTest, RejectsZeroFilesWithNonzeroSections) {
+  pack_trace(sample_trace(), path_);
+  // file_count = 0 but the frequency/table sections keep their old extents.
+  patch_header([](Header& h) { h.file_count = 0; });
+  expect_open_fails("inconsistent section layout");
+}
+
+TEST_F(StoreFormatTest, RejectsGroupCountBeyondSectionCapacity) {
+  pack_trace(sample_trace(), path_);
+  // A count this large must fail the capacity check, not reach reserve().
+  patch_header([](Header& h) { h.group_count = 1ULL << 60; });
+  expect_open_fails("group count exceeds");
+}
+
+TEST_F(StoreFormatTest, RejectsFileEntryNameSliceWrap) {
+  pack_trace(sample_trace(), path_);
+  const Header header = [&] {
+    const TraceReader reader(path_);
+    return reader.header();
+  }();
+  // Entry 0: name_offset near 2^64 so offset + bytes wraps back into range.
+  auto bytes = read_all();
+  FileEntry entry;
+  std::memcpy(&entry, bytes.data() + header.file_table_offset, sizeof entry);
+  entry.name_offset = ~std::uint64_t{0} - 1;
+  entry.name_bytes = 8;
+  std::memcpy(bytes.data() + header.file_table_offset, &entry, sizeof entry);
+  const std::uint32_t crc =
+      crc32(bytes.data() + header.file_table_offset, header.file_table_bytes);
+  std::memcpy(bytes.data() + offsetof(Header, crc_file_table), &crc,
+              sizeof crc);
+  Header patched;
+  std::memcpy(&patched, bytes.data(), sizeof patched);
+  patched.crc_header = crc32(&patched, offsetof(Header, crc_header));
+  std::memcpy(bytes.data(), &patched, sizeof patched);
+  write_all(bytes);
+  expect_open_fails("malformed");
+}
+
+TEST_F(StoreFormatTest, ShardRangeChecksDoNotWrap) {
+  pack_trace(sample_trace(20, 6), path_);
+  const TraceReader reader(path_);
+  const auto max = std::numeric_limits<std::size_t>::max();
+  // first + count wraps to a small value; the check must still reject.
+  EXPECT_THROW(reader.materialize_shard(1, max), std::out_of_range);
+  EXPECT_THROW(reader.materialize_shard(max, 2), std::out_of_range);
+  EXPECT_THROW(reader.materialize_shard_async(1, max, nullptr),
+               std::out_of_range);
+  EXPECT_THROW(reader.release_frequency_range(1, max), std::out_of_range);
 }
 
 TEST_F(StoreFormatTest, MissingFileThrows) {

@@ -1,0 +1,127 @@
+"""Unit tests for tools/analyzer_gate.py (the analyzer-baseline diff gate).
+
+The gate is what turns two noisy compiler analyzers into a CI signal, so its
+matching semantics — count-based, line-number-free, stale-tolerant — are
+pinned here.
+"""
+
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "tools"))
+
+import analyzer_gate  # noqa: E402
+
+GCC_LINE = (
+    "src/store/trace_reader.cpp:295:47: warning: use of uninitialized value "
+    "'<unknown>' [CWE-457] [-Wanalyzer-use-of-uninitialized-value]"
+)
+CLANG_LINE = (
+    "src/core/planner.cpp:12:3: warning: Value stored to 'x' is never read "
+    "[deadcode.DeadStores]"
+)
+PLAIN_WARNING = (
+    "src/core/planner.cpp:9:7: warning: unused variable 'y' [-Wunused-variable]"
+)
+
+
+class ParseLogTest(unittest.TestCase):
+    def test_parses_gcc_and_clang_findings(self):
+        counts, raw = analyzer_gate.parse_log(
+            [GCC_LINE, GCC_LINE, CLANG_LINE, "note: some note", "junk"],
+            pathlib.Path("."),
+        )
+        self.assertEqual(
+            counts[
+                ("src/store/trace_reader.cpp",
+                 "-Wanalyzer-use-of-uninitialized-value")
+            ],
+            2,
+        )
+        self.assertEqual(
+            counts[("src/core/planner.cpp", "deadcode.DeadStores")], 1
+        )
+        self.assertEqual(len(raw), 2)
+
+    def test_ordinary_compiler_warnings_are_not_findings(self):
+        counts, _ = analyzer_gate.parse_log([PLAIN_WARNING], pathlib.Path("."))
+        self.assertEqual(len(counts), 0)
+
+    def test_absolute_paths_normalize_to_repo_relative(self):
+        root = pathlib.Path(tempfile.mkdtemp())
+        line = (
+            f"{root.resolve()}/src/a.cpp:1:1: warning: boom "
+            "[-Wanalyzer-null-dereference]"
+        )
+        counts, _ = analyzer_gate.parse_log([line], root)
+        self.assertIn(("src/a.cpp", "-Wanalyzer-null-dereference"), counts)
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = pathlib.Path(tempfile.mkdtemp())
+        self.log = self.dir / "build.log"
+        self.baseline = self.dir / "baseline.txt"
+
+    def run_gate(self, extra=()):
+        return analyzer_gate.main(
+            ["--log", str(self.log), "--baseline", str(self.baseline),
+             "--root", str(self.dir), *extra]
+        )
+
+    def test_new_finding_fails(self):
+        self.log.write_text(GCC_LINE + "\n")
+        self.baseline.write_text("")
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_baselined_finding_passes(self):
+        self.log.write_text(GCC_LINE + "\n")
+        self.baseline.write_text(
+            "src/store/trace_reader.cpp\t"
+            "-Wanalyzer-use-of-uninitialized-value\t1\n"
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_count_increase_fails(self):
+        self.log.write_text(GCC_LINE + "\n" + GCC_LINE + "\n")
+        self.baseline.write_text(
+            "src/store/trace_reader.cpp\t"
+            "-Wanalyzer-use-of-uninitialized-value\t1\n"
+        )
+        self.assertEqual(self.run_gate(), 1)
+
+    def test_stale_entry_warns_but_passes(self):
+        self.log.write_text("clean build\n")
+        self.baseline.write_text(
+            "src/gone.cpp\t-Wanalyzer-malloc-leak\t3\n"
+        )
+        self.assertEqual(self.run_gate(), 0)
+
+    def test_update_rewrites_baseline_and_then_gates_clean(self):
+        self.log.write_text(GCC_LINE + "\n" + CLANG_LINE + "\n")
+        self.assertEqual(self.run_gate(["--update"]), 0)
+        self.assertEqual(self.run_gate(), 0)
+        text = self.baseline.read_text()
+        self.assertIn("deadcode.DeadStores\t1", text)
+
+    def test_malformed_baseline_is_a_hard_error(self):
+        self.log.write_text("")
+        self.baseline.write_text("just one field\n")
+        with self.assertRaises(SystemExit):
+            self.run_gate()
+
+    def test_missing_log_is_usage_error(self):
+        self.baseline.write_text("")
+        self.assertEqual(
+            analyzer_gate.main(
+                ["--log", str(self.dir / "nope.log"),
+                 "--baseline", str(self.baseline)]
+            ),
+            2,
+        )
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff compiler-analyzer output against a committed triaged baseline.
+
+Both analyzer jobs in CI (gcc `-fanalyzer`, clang `scan-build`) are noisy on
+C++ — known false positives live in a baseline file so the signal is *new*
+findings: the gate fails the build when a (file, checker) pair appears that
+the baseline does not cover, or appears more often than it did when triaged.
+
+Baseline format (one finding class per line, tab-separated):
+
+    <relative path>\t<checker id>\t<count>
+
+Lines starting with `#` are comments. Counts — not line numbers — are the
+matching key: analyzer line numbers drift with every edit, but a *new* use
+of an uninitialized value in a file raises that file's count and trips the
+gate. Stale entries (triaged findings the analyzer no longer reports) are
+reported as warnings so the baseline shrinks over time; `--update` rewrites
+the baseline from the current log once the new findings are triaged.
+
+Usage:
+    g++ -fanalyzer ... 2> build.log   (or: scan-build ... 2> build.log)
+    analyzer_gate.py --log build.log --baseline gcc-fanalyzer.txt [--update]
+
+Exit codes: 0 clean (stale entries allowed), 1 new findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import pathlib
+import re
+import sys
+
+# gcc:   path:line:col: warning: text [CWE-457] [-Wanalyzer-use-of-uninitialized-value]
+# clang: path:line:col: warning: text [core.NullDereference]
+FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+warning:\s+"
+    r"(?P<text>.*?)\s*\[(?P<checker>-Wanalyzer-[\w-]+|[a-zA-Z_][\w.-]*)\]\s*$"
+)
+
+
+def parse_log(lines, root: pathlib.Path):
+    """Returns ({(path, checker): count}, [raw finding lines])."""
+    counts = collections.Counter()
+    raw = collections.defaultdict(list)
+    for line in lines:
+        match = FINDING_RE.match(line.rstrip("\n"))
+        if not match:
+            continue
+        checker = match.group("checker")
+        if not (checker.startswith("-Wanalyzer-") or "." in checker):
+            continue  # an ordinary -Wfoo compiler warning, not an analyzer
+        path = pathlib.Path(match.group("path"))
+        if path.is_absolute():
+            try:
+                path = path.relative_to(root.resolve())
+            except ValueError:
+                pass  # system header or out-of-tree: keep as-is
+        key = (path.as_posix(), checker)
+        counts[key] += 1
+        raw[key].append(line.rstrip("\n"))
+    return counts, raw
+
+
+def read_baseline(path: pathlib.Path):
+    counts = collections.Counter()
+    if not path.exists():
+        return counts
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = text.split("\t")
+        if len(parts) != 3 or not parts[2].isdigit():
+            raise SystemExit(
+                f"{path}:{lineno}: malformed baseline line (want "
+                f"path<TAB>checker<TAB>count): {text!r}"
+            )
+        counts[(parts[0], parts[1])] += int(parts[2])
+    return counts
+
+
+def write_baseline(path: pathlib.Path, counts) -> None:
+    lines = [
+        "# Triaged analyzer findings: path<TAB>checker<TAB>count.",
+        "# Regenerate with tools/analyzer_gate.py --update after triaging;",
+        "# see DESIGN.md section 12 for the workflow.",
+    ]
+    for (rel, checker), count in sorted(counts.items()):
+        lines.append(f"{rel}\t{checker}\t{count}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--log", required=True,
+                        help="build log containing analyzer diagnostics"
+                             " (- for stdin)")
+    parser.add_argument("--baseline", required=True,
+                        help="triaged-findings baseline file")
+    parser.add_argument("--root", default=".",
+                        help="repo root for path normalization")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from the log and exit 0")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root)
+    if args.log == "-":
+        lines = sys.stdin.readlines()
+    else:
+        log = pathlib.Path(args.log)
+        if not log.exists():
+            print(f"analyzer_gate: no such log: {log}", file=sys.stderr)
+            return 2
+        lines = log.read_text(errors="replace").splitlines()
+
+    counts, raw = parse_log(lines, root)
+    baseline_path = pathlib.Path(args.baseline)
+    if args.update:
+        write_baseline(baseline_path, counts)
+        print(f"analyzer_gate: wrote {len(counts)} finding classes to "
+              f"{baseline_path}")
+        return 0
+
+    baseline = read_baseline(baseline_path)
+    new = {k: c - baseline.get(k, 0) for k, c in counts.items()
+           if c > baseline.get(k, 0)}
+    stale = {k: c for k, c in baseline.items() if counts.get(k, 0) < c}
+
+    for (rel, checker), excess in sorted(stale.items()):
+        print(f"analyzer_gate: stale baseline entry (analyzer no longer "
+              f"reports it here): {rel} [{checker}]", file=sys.stderr)
+    if new:
+        print(f"analyzer_gate: {sum(new.values())} NEW analyzer finding(s) "
+              f"not covered by {baseline_path}:", file=sys.stderr)
+        for key in sorted(new):
+            for line in raw[key][: new[key]]:
+                print(f"  {line}", file=sys.stderr)
+        print("analyzer_gate: triage each finding; fix real bugs, then "
+              "refresh the baseline with --update for the false positives.",
+              file=sys.stderr)
+        return 1
+    print(f"analyzer_gate: clean ({sum(counts.values())} known finding(s), "
+          f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

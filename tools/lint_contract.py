@@ -17,10 +17,6 @@ Checked rules (ids are what `allow(...)` suppressions name):
   time-seed           time(nullptr)/time(NULL)/std::time(...) — wall-clock
                       values feeding seeds or logic make runs
                       irreproducible; timing belongs in util::Stopwatch.
-  unordered-iteration range-for over a std::unordered_map/unordered_set in
-                      src/sim/ or src/core/ — hash-iteration order is
-                      unspecified, so per-file planning/billing results
-                      would depend on hashing details of the build.
   openmp-pragma       #pragma omp — threading must go through
                       util::ThreadPool so the pool-size-independence
                       contract (and its tests) cover it.
@@ -32,11 +28,19 @@ Checked rules (ids are what `allow(...)` suppressions name):
                       (a fused multiply-add would break the bit-identical
                       batch == scalar guarantee).
 
+(The unordered-iteration rule moved to tools/lint_ast.py, which resolves
+container types through aliases and member declarations and scopes the rule
+to minicost_core's actual link closure instead of a directory list.)
+
 Suppression syntax — same line or the line directly above the finding:
 
     // lint-contract: allow(<rule-id>) -- <reason>
 
-The reason is mandatory; a suppression without one is itself an error.
+The reason is mandatory; a suppression without one is itself an error, as is
+a suppression naming an unknown rule id. A *stale* suppression — one whose
+covered lines no longer trigger the named rule — is an error too
+(stale-suppression), so silenced findings cannot outlive the code they
+silenced.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -63,14 +67,16 @@ TIME_SEED_RE = re.compile(r"(?<![\w:])(?:std\s*::\s*)?time\s*\(\s*(?:nullptr|NUL
 OPENMP_RE = re.compile(r"#\s*pragma\s+omp\b")
 NEW_RE = re.compile(r"(?<![\w:])new\s+[A-Za-z_(]")
 DELETE_RE = re.compile(r"(?<![\w:])delete(?:\s*\[\s*\])?\s+[A-Za-z_*(]")
-UNORDERED_DECL_RE = re.compile(
-    r"std\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)"
-)
-RANGE_FOR_RE = re.compile(r"for\s*\([^;)]*?:\s*(?:\*?\s*)?(\w+(?:\.\w+\(\))?)\s*\)")
-RANGE_FOR_UNORDERED_EXPR_RE = re.compile(
-    r"for\s*\([^;)]*?:\s*[^)]*unordered_(?:map|set|multimap|multiset)"
-)
 TARGET_CLONES_MACRO = "MINICOST_TARGET_CLONES"
+
+RULE_IDS = (
+    "raw-rand",
+    "random-device",
+    "time-seed",
+    "openmp-pragma",
+    "raw-new-delete",
+    "ffp-contract-guard",
+)
 
 
 def strip_comments_and_strings(lines: list[str]) -> list[str]:
@@ -133,13 +139,16 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def suppressions(raw_lines: list[str], path: Path) -> tuple[dict[int, set[str]], list[Finding]]:
+def suppressions(raw_lines: list[str], path: Path):
     """Maps line numbers (1-based) to the rule ids suppressed there.
 
     A suppression comment covers its own line and the line below it, so it
-    can sit inline or on its own line above the finding.
+    can sit inline or on its own line above the finding. Returns
+    (allowed, declared, errors) where declared is [(line, rule)] for the
+    stale-suppression pass.
     """
     allowed: dict[int, set[str]] = {}
+    declared: list[tuple[int, str]] = []
     errors: list[Finding] = []
     for idx, line in enumerate(raw_lines, start=1):
         m = SUPPRESS_RE.search(line)
@@ -154,35 +163,39 @@ def suppressions(raw_lines: list[str], path: Path) -> tuple[dict[int, set[str]],
                                   "// lint-contract: allow(rule) -- why"))
             continue
         rule = m.group("rule")
+        if rule not in RULE_IDS:
+            errors.append(Finding(path, idx, "bad-suppression",
+                                  f"unknown rule id '{rule}' in "
+                                  "lint-contract suppression"))
+            continue
+        declared.append((idx, rule))
         allowed.setdefault(idx, set()).add(rule)
         allowed.setdefault(idx + 1, set()).add(rule)
-    return allowed, errors
+    return allowed, declared, errors
 
 
-def lint_file(path: Path, rel: Path) -> list[Finding]:
+def lint_file(path: Path, rel: Path):
+    """Returns (findings, declared_suppressions, used_suppression_lines)."""
     try:
         raw = path.read_text(encoding="utf-8", errors="replace").splitlines()
     except OSError as err:
-        return [Finding(rel, 0, "io-error", str(err))]
+        return [Finding(rel, 0, "io-error", str(err))], [], set()
     code = strip_comments_and_strings(raw)
-    allowed, findings = suppressions(raw, rel)
+    allowed, declared, findings = suppressions(raw, rel)
 
     rel_posix = rel.as_posix()
     in_rng = re.search(r"(^|/)src/util/rng\.(cpp|hpp)$", rel_posix) is not None
     in_tests = rel_posix.startswith("tests/") or "/tests/" in rel_posix
-    in_sim_or_core = re.search(r"(^|/)src/(sim|core)/", rel_posix) is not None
 
-    # Names of locals/members declared with unordered types in this file;
-    # good enough for the planning code, which never aliases them through
-    # auto references before iterating.
-    unordered_names = set()
-    for line in code:
-        for m in UNORDERED_DECL_RE.finditer(line):
-            unordered_names.add(m.group(1))
+    used: set[tuple[int, str]] = set()
 
     def check(idx: int, rule: str, message: str) -> None:
-        if rule not in allowed.get(idx, set()):
-            findings.append(Finding(rel, idx, rule, message))
+        if rule in allowed.get(idx, set()):
+            for decl_line in (idx, idx - 1):
+                if (decl_line, rule) in set(declared):
+                    used.add((decl_line, rule))
+            return
+        findings.append(Finding(rel, idx, rule, message))
 
     for idx, line in enumerate(code, start=1):
         if RAW_RAND_RE.search(line):
@@ -200,18 +213,7 @@ def lint_file(path: Path, rel: Path) -> list[Finding]:
         if not in_tests and (NEW_RE.search(line) or DELETE_RE.search(line)):
             check(idx, "raw-new-delete",
                   "raw new/delete outside tests; use containers or std::make_unique")
-        if in_sim_or_core:
-            hazard = RANGE_FOR_UNORDERED_EXPR_RE.search(line)
-            if not hazard:
-                m = RANGE_FOR_RE.search(line)
-                if m:
-                    target = m.group(1).split(".")[0]
-                    hazard = target in unordered_names
-            if hazard:
-                check(idx, "unordered-iteration",
-                      "range-for over an unordered container in planning/billing code; "
-                      "iteration order is unspecified and results become hash-dependent")
-    return findings
+    return findings, declared, used
 
 
 def lint_ffp_contract(root: Path) -> list[Finding]:
@@ -250,10 +252,25 @@ def run(root: Path, paths: list[Path] | None = None) -> list[Finding]:
             if base.is_dir():
                 files.extend(p for p in sorted(base.rglob("*"))
                              if p.suffix in SOURCE_SUFFIXES and p.is_file())
+    declared_by_rel: dict[str, list[tuple[int, str]]] = {}
+    used_by_rel: dict[str, set[tuple[int, str]]] = {}
     for path in files:
         rel = path.relative_to(root) if path.is_absolute() else path
-        findings.extend(lint_file(root / rel, rel))
+        file_findings, declared, used = lint_file(root / rel, rel)
+        findings.extend(file_findings)
+        declared_by_rel[rel.as_posix()] = declared
+        used_by_rel[rel.as_posix()] = used
     findings.extend(lint_ffp_contract(root))
+    # Stale-suppression pass: every declared allow() must have silenced at
+    # least one finding on the lines it covers.
+    for rel_posix, declared in declared_by_rel.items():
+        used = used_by_rel[rel_posix]
+        for idx, rule in declared:
+            if (idx, rule) not in used:
+                findings.append(Finding(
+                    Path(rel_posix), idx, "stale-suppression",
+                    f"allow({rule}) no longer suppresses anything here; "
+                    "delete the comment (or fix the rule id)"))
     return findings
 
 

@@ -23,6 +23,7 @@
 #include "core/optimal.hpp"
 #include "core/plan_driver.hpp"
 #include "core/planner.hpp"
+#include "core/serve_command.hpp"
 #include "obs/run_report.hpp"
 #include "sim/cost_model.hpp"
 #include "store/trace_reader.hpp"
@@ -213,65 +214,78 @@ int serve_loop(const store::TraceReader& reader,
   std::cout << kRowHeader << std::endl;
   std::string line;
   while (std::getline(std::cin, line)) {
-    std::istringstream args(line);
-    std::string cmd;
-    args >> cmd;
-    if (cmd.empty() || cmd[0] == '#') continue;
-    if (cmd == "quit" || cmd == "exit") break;
+    // The grammar lives in core::parse_serve_command (pure, never throws,
+    // fuzzed by fuzz/fuzz_serve.cpp); malformed input gets one error row
+    // and the loop keeps serving.
+    const core::ServeCommand cmd = core::parse_serve_command(line);
+    using Kind = core::ServeCommand::Kind;
+    if (cmd.kind == Kind::kNone) continue;
+    if (cmd.kind == Kind::kQuit) break;
+    if (cmd.kind == Kind::kError) {
+      std::cout << "error," << cmd.error << std::endl;
+      continue;
+    }
     try {
-      if (cmd == "plan" || cmd == "replan") {
-        core::PlanDriver* driver = driver_for(current);
-        if (driver == nullptr) {
-          std::cout << "error,unknown policy " << current << std::endl;
-          continue;
-        }
-        const core::PlanDriverRun run =
-            cmd == "plan" ? driver->run() : driver->replan();
-        std::cout << format_row(cmd, config.options.shard_files, run)
-                  << std::endl;
-      } else if (cmd == "touch") {
-        std::size_t first = 0, count = 0;
-        if (!(args >> first >> count)) {
-          std::cout << "error,touch needs FIRST COUNT" << std::endl;
-          continue;
-        }
-        // Dirty marks apply to every warm driver so a later `policy X` +
-        // `replan` re-plans the touched shards under that policy too.
-        for (auto& [name, driver] : drivers) driver->mark_dirty(first, count);
-        if (drivers.empty())
-          std::cout << "error,no warm driver to touch (run plan first)"
+      switch (cmd.kind) {
+        case Kind::kPlan:
+        case Kind::kReplan: {
+          core::PlanDriver* driver = driver_for(current);
+          if (driver == nullptr) {
+            std::cout << "error,unknown policy " << current << std::endl;
+            break;
+          }
+          const core::PlanDriverRun run =
+              cmd.kind == Kind::kPlan ? driver->run() : driver->replan();
+          std::cout << format_row(
+                           cmd.kind == Kind::kPlan ? "plan" : "replan",
+                           config.options.shard_files, run)
                     << std::endl;
-        else
-          std::cout << "touched," << first << "," << count << std::endl;
-      } else if (cmd == "policy") {
-        std::string name;
-        args >> name;
-        if (make_policy(name) == nullptr) {
-          std::cout << "error,unknown policy " << name << std::endl;
-          continue;
+          break;
         }
-        current = name;
-        std::cout << "policy," << name << std::endl;
-      } else if (cmd == "sweep") {
-        for (const std::string& name : config.policies) {
-          core::PlanDriver* driver = driver_for(name);
-          if (driver == nullptr) continue;
-          std::cout << format_row("sweep", config.options.shard_files,
-                                  driver->run())
+        case Kind::kTouch:
+          // Dirty marks apply to every warm driver so a later `policy X` +
+          // `replan` re-plans the touched shards under that policy too.
+          for (auto& [name, driver] : drivers)
+            driver->mark_dirty(cmd.first, cmd.count);
+          if (drivers.empty())
+            std::cout << "error,no warm driver to touch (run plan first)"
+                      << std::endl;
+          else
+            std::cout << "touched," << cmd.first << "," << cmd.count
+                      << std::endl;
+          break;
+        case Kind::kPolicy:
+          if (make_policy(cmd.name) == nullptr) {
+            std::cout << "error,unknown policy " << cmd.name << std::endl;
+            break;
+          }
+          current = cmd.name;
+          std::cout << "policy," << cmd.name << std::endl;
+          break;
+        case Kind::kSweep:
+          for (const std::string& name : config.policies) {
+            core::PlanDriver* driver = driver_for(name);
+            if (driver == nullptr) continue;
+            std::cout << format_row("sweep", config.options.shard_files,
+                                    driver->run())
+                      << std::endl;
+          }
+          break;
+        case Kind::kStats: {
+          core::PlanDriver* driver = driver_for(current);
+          std::cout << "stats,policy=" << current
+                    << ",shards=" << (driver ? driver->shard_count() : 0)
+                    << ",dirty=" << (driver ? driver->dirty_shard_count() : 0)
+                    << ",warm_policies=" << drivers.size() << std::endl;
+          break;
+        }
+        case Kind::kHelp:
+          std::cout << "commands: plan | replan | touch FIRST COUNT | "
+                       "policy NAME | sweep | stats | quit"
                     << std::endl;
-        }
-      } else if (cmd == "stats") {
-        core::PlanDriver* driver = driver_for(current);
-        std::cout << "stats,policy=" << current
-                  << ",shards=" << (driver ? driver->shard_count() : 0)
-                  << ",dirty=" << (driver ? driver->dirty_shard_count() : 0)
-                  << ",warm_policies=" << drivers.size() << std::endl;
-      } else if (cmd == "help") {
-        std::cout << "commands: plan | replan | touch FIRST COUNT | "
-                     "policy NAME | sweep | stats | quit"
-                  << std::endl;
-      } else {
-        std::cout << "error,unknown command " << cmd << std::endl;
+          break;
+        default:
+          break;
       }
     } catch (const std::exception& error) {
       std::cout << "error," << error.what() << std::endl;
@@ -314,17 +328,20 @@ int cmd_plan_store(const util::Cli& cli) {
   if (cli.boolean("serve")) return serve_loop(reader, prices, config);
 
   const std::string format = cli.str("format");
-  const std::vector<std::string> shard_list = split_list(cli.str("sweep-shard-files"));
   std::vector<std::size_t> shard_sizes;
-  for (const std::string& s : shard_list)
-    shard_sizes.push_back(static_cast<std::size_t>(std::stoll(s)));
+  if (!core::parse_size_list(cli.str("sweep-shard-files"), &shard_sizes)) {
+    std::cerr << "plan: --sweep-shard-files wants a comma list of "
+                 "nonnegative integers, got '"
+              << cli.str("sweep-shard-files") << "'\n";
+    return 1;
+  }
   if (shard_sizes.empty()) shard_sizes.push_back(config.options.shard_files);
 
   // --replan FIRST:COUNT — full plan, touch, incremental replan, and verify
   // the replanned bill is byte-identical to the full plan's.
   if (!cli.str("replan").empty()) {
     std::size_t first = 0, count = 0;
-    if (std::sscanf(cli.str("replan").c_str(), "%zu:%zu", &first, &count) != 2) {
+    if (!core::parse_shard_range(cli.str("replan"), &first, &count)) {
       std::cerr << "plan: --replan expects FIRST:COUNT\n";
       return 1;
     }
