@@ -13,6 +13,12 @@
 //     loop vs store::ShardPrefetcher (overlap only helps with >1 hw thread)
 //   * eval monolithic vs sharded: Greedy over the last 35 days, and a check
 //     that the two bills match bit for bit
+//   * codec dimension (first size only, integral-counts workload): for each
+//     v2 chunk codec this build carries — raw, delta, and the zstd pair when
+//     MINICOST_WITH_ZSTD — pack the same trace into a v2 container and
+//     report its size, the compression ratio against the v1 container,
+//     chunk-decode materialize throughput, and whether the sharded bill
+//     over the v2 store is bit-identical to the v1 monolithic bill.
 //
 // Output: one JSON object on stdout, mirrored to
 // bench_out()/micro_trace_io_raw.json; the schema-versioned run report for
@@ -26,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "codec/chunk_codec.hpp"
 #include "common.hpp"
 #include "core/greedy.hpp"
 #include "core/shard_eval.hpp"
@@ -166,6 +173,126 @@ Row run_size(std::size_t files, std::size_t days,
   return row;
 }
 
+struct CodecRow {
+  std::string name;            ///< "v1" or a v2 codec name
+  double pack_seconds = 0.0;
+  double mct_mib = 0.0;
+  double ratio_vs_v1 = 1.0;    ///< v1 container bytes / this container bytes
+  double materialize_seconds = 0.0;
+  double materialize_gb_per_sec = 0.0;  ///< decoded bytes per second
+  bool identical = false;      ///< sharded bill == v1 monolithic bill, bitwise
+};
+
+/// The codec dimension: same integral-counts workload (whole requests, the
+/// data shape the delta codec exists for), one container per codec, all
+/// billed against the v1 monolithic reference.
+std::vector<CodecRow> run_codecs(std::size_t files, std::size_t days,
+                                 const std::filesystem::path& dir) {
+  trace::SyntheticConfig config;
+  config.file_count = files;
+  config.days = days;
+  config.seed = util::bench_seed();
+  config.grouped_file_fraction = 0.0;  // streamable
+  config.integral_counts = true;
+
+  constexpr std::size_t kGenChunk = 16384;
+  constexpr std::size_t kShardFiles = 2048;
+  const auto pack = [&](const std::filesystem::path& path,
+                        const store::WriterOptions& options) {
+    store::TraceWriter writer(path, days, options);
+    for (std::size_t first = 0; first < files; first += kGenChunk) {
+      const std::size_t count = std::min(kGenChunk, files - first);
+      for (const trace::FileRecord& f :
+           trace::generate_synthetic_files(config, first, count))
+        writer.add_file(f.name, f.size_gb, f.reads, f.writes);
+    }
+    writer.finish();
+  };
+
+  const pricing::PricingPolicy prices = benchx::standard_pricing();
+  const std::size_t start = days > 35 ? days - 35 : 1;
+  const auto mib = [](const std::filesystem::path& p) {
+    return static_cast<double>(std::filesystem::file_size(p)) /
+           (1024.0 * 1024.0);
+  };
+
+  std::vector<CodecRow> rows;
+  const std::filesystem::path mct = dir / "micro_trace_io_codec.mct";
+
+  // v1 reference: container size and the monolithic bill every v2 container
+  // must reproduce bit for bit.
+  double v1_mib = 0.0;
+  double v1_total = 0.0;
+  {
+    CodecRow row;
+    row.name = "v1";
+    util::Stopwatch watch;
+    pack(mct, {});
+    row.pack_seconds = watch.seconds();
+    row.mct_mib = v1_mib = mib(mct);
+    const store::TraceReader reader(mct);
+    {
+      util::Stopwatch mat;
+      for (std::size_t first = 0; first < files; first += kShardFiles) {
+        const std::size_t count = std::min(kShardFiles, files - first);
+        (void)reader.materialize_shard(first, count);
+        reader.release_frequency_range(first, count);
+      }
+      row.materialize_seconds = mat.seconds();
+      row.materialize_gb_per_sec =
+          static_cast<double>(reader.freq_raw_bytes()) / 1e9 /
+          row.materialize_seconds;
+    }
+    const trace::RequestTrace tr = reader.materialize();
+    core::GreedyPolicy policy;
+    core::PlanOptions options;
+    options.start_day = start;
+    options.initial_tiers = core::static_initial_tiers(tr, prices, start);
+    v1_total =
+        core::run_policy(tr, prices, policy, options).report.grand_total().total();
+    row.identical = true;
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::string> codecs{"raw", "delta"};
+  if (codec::zstd_available()) {
+    codecs.emplace_back("zstd");
+    codecs.emplace_back("delta+zstd");
+  }
+  for (const std::string& name : codecs) {
+    CodecRow row;
+    row.name = name;
+    util::Stopwatch watch;
+    pack(mct, store::WriterOptions{name, 1024});
+    row.pack_seconds = watch.seconds();
+    row.mct_mib = mib(mct);
+    row.ratio_vs_v1 = v1_mib / row.mct_mib;
+    const store::TraceReader reader(mct);
+    {
+      util::Stopwatch mat;
+      for (std::size_t first = 0; first < files; first += kShardFiles) {
+        const std::size_t count = std::min(kShardFiles, files - first);
+        (void)reader.materialize_shard(first, count);
+      }
+      row.materialize_seconds = mat.seconds();
+      row.materialize_gb_per_sec =
+          static_cast<double>(reader.freq_raw_bytes()) / 1e9 /
+          row.materialize_seconds;
+    }
+    core::GreedyPolicy policy;
+    core::ShardEvalOptions options;
+    options.shard_files = kShardFiles;
+    options.start_day = start;
+    const double total = core::run_policy_sharded(reader, prices, policy, options)
+                             .report.grand_total()
+                             .total();
+    row.identical = total == v1_total;
+    rows.push_back(std::move(row));
+  }
+  std::filesystem::remove(mct);
+  return rows;
+}
+
 }  // namespace
 
 int main() {
@@ -216,6 +343,30 @@ int main() {
         row.open_scan_seconds, row.scan_gb / row.open_scan_seconds,
         row.materialize_serial_seconds, row.materialize_prefetch_seconds,
         row.eval_mono_seconds, row.eval_shard_seconds, row.shard_files,
+        row.identical ? "true" : "false");
+    json << buf;
+  }
+  json << "],\"codecs\":[";
+  const std::vector<CodecRow> codec_rows = run_codecs(sizes.front(), days, dir);
+  for (std::size_t i = 0; i < codec_rows.size(); ++i) {
+    const CodecRow& row = codec_rows[i];
+    const std::string prefix = "codec." + row.name + ".";
+    metrics.emplace_back(prefix + "pack_seconds", row.pack_seconds);
+    metrics.emplace_back(prefix + "mct_mib", row.mct_mib);
+    metrics.emplace_back(prefix + "ratio_vs_v1", row.ratio_vs_v1);
+    metrics.emplace_back(prefix + "materialize_seconds",
+                         row.materialize_seconds);
+    metrics.emplace_back(prefix + "materialize_gb_per_sec",
+                         row.materialize_gb_per_sec);
+    metrics.emplace_back(prefix + "bills_identical", row.identical ? 1.0 : 0.0);
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s{\"codec\":\"%s\",\"pack_seconds\":%.3f,\"mct_mib\":%.2f,"
+        "\"ratio_vs_v1\":%.3f,\"materialize_seconds\":%.3f,"
+        "\"materialize_gb_per_sec\":%.2f,\"bills_identical\":%s}",
+        i == 0 ? "" : ",", row.name.c_str(), row.pack_seconds, row.mct_mib,
+        row.ratio_vs_v1, row.materialize_seconds, row.materialize_gb_per_sec,
         row.identical ? "true" : "false");
     json << buf;
   }

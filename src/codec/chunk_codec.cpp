@@ -1,0 +1,215 @@
+#include "codec/chunk_codec.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "codec/delta_codec.hpp"
+#include "codec/zstd_codec.hpp"
+
+namespace minicost::codec {
+namespace {
+
+void check_raw_size(const ChunkLayout& layout, std::size_t got,
+                    const char* who) {
+  if (got != layout.raw_bytes())
+    throw std::invalid_argument(std::string(who) + ": raw payload is " +
+                                std::to_string(got) + " bytes, layout wants " +
+                                std::to_string(layout.raw_bytes()));
+}
+
+class RawCodec final : public ChunkCodec {
+ public:
+  std::uint32_t id() const noexcept override { return kCodecRaw; }
+  std::string_view name() const noexcept override { return "raw"; }
+
+  bool encode(const ChunkLayout& layout, std::span<const std::byte> raw,
+              std::vector<std::byte>& out) const override {
+    check_raw_size(layout, raw.size(), "raw encode");
+    out.insert(out.end(), raw.begin(), raw.end());
+    return true;
+  }
+
+  void decode(const ChunkLayout& layout, std::span<const std::byte> encoded,
+              std::span<std::byte> raw_out) const override {
+    check_raw_size(layout, raw_out.size(), "raw decode");
+    if (encoded.size() != layout.raw_bytes())
+      throw std::runtime_error("raw chunk is " + std::to_string(encoded.size()) +
+                               " bytes, expected " +
+                               std::to_string(layout.raw_bytes()));
+    std::memcpy(raw_out.data(), encoded.data(), encoded.size());
+  }
+};
+
+class DeltaCodec final : public ChunkCodec {
+ public:
+  std::uint32_t id() const noexcept override { return kCodecDelta; }
+  std::string_view name() const noexcept override { return "delta"; }
+
+  bool encode(const ChunkLayout& layout, std::span<const std::byte> raw,
+              std::vector<std::byte>& out) const override {
+    check_raw_size(layout, raw.size(), "delta encode");
+    std::vector<std::uint64_t> zigzags;
+    zigzags.reserve(layout.series_count() * layout.days);
+    for (std::size_t s = 0; s < layout.series_count(); ++s) {
+      const std::byte* series = raw.data() + s * layout.stride;
+      std::int64_t prev = 0;
+      for (std::size_t t = 0; t < layout.days; ++t) {
+        double v = 0.0;
+        std::memcpy(&v, series + t * sizeof(double), sizeof v);
+        const std::optional<std::int64_t> i = integral_bits(v);
+        if (!i.has_value()) return false;  // fractional chunk: fall back
+        // Both operands are within +/- 2^62 (integral_bits), so the delta
+        // fits int64; go through unsigned to keep the subtraction defined.
+        zigzags.push_back(zigzag(static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(*i) - static_cast<std::uint64_t>(prev))));
+        prev = *i;
+      }
+    }
+    pack_blocks(zigzags, out);
+    return true;
+  }
+
+  void decode(const ChunkLayout& layout, std::span<const std::byte> encoded,
+              std::span<std::byte> raw_out) const override {
+    check_raw_size(layout, raw_out.size(), "delta decode");
+    const std::size_t count = layout.series_count() * layout.days;
+    std::vector<std::uint64_t> zigzags;
+    zigzags.reserve(count);
+    std::size_t consumed = 0;
+    if (!unpack_blocks(encoded, count, zigzags, &consumed) ||
+        consumed != encoded.size())
+      throw std::runtime_error("malformed delta stream in chunk");
+    // Reconstruct the v1 layout exactly: series values followed by zero
+    // padding out to the stride.
+    std::memset(raw_out.data(), 0, raw_out.size());
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < layout.series_count(); ++s) {
+      std::byte* series = raw_out.data() + s * layout.stride;
+      std::int64_t prev = 0;
+      for (std::size_t t = 0; t < layout.days; ++t) {
+        prev = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(prev) +
+            static_cast<std::uint64_t>(unzigzag(zigzags[next++])));
+        const double v = static_cast<double>(prev);
+        std::memcpy(series + t * sizeof(double), &v, sizeof v);
+      }
+    }
+  }
+};
+
+const RawCodec raw_codec;
+const DeltaCodec delta_codec;
+
+}  // namespace
+
+const ChunkCodec* codec_by_id(std::uint32_t id) noexcept {
+  switch (id) {
+    case kCodecRaw:
+      return &raw_codec;
+    case kCodecDelta:
+      return &delta_codec;
+    default:
+      return detail::zstd_codec_by_id(id);  // nullptr without zstd
+  }
+}
+
+const ChunkCodec* codec_by_name(std::string_view name) noexcept {
+  for (const std::uint32_t id :
+       {kCodecRaw, kCodecDelta, kCodecZstd, kCodecDeltaZstd}) {
+    const ChunkCodec* codec = codec_by_id(id);
+    if (codec != nullptr && codec->name() == name) return codec;
+  }
+  return nullptr;
+}
+
+std::string_view reserved_codec_name(std::uint32_t id) noexcept {
+  switch (id) {
+    case kCodecRaw:
+      return "raw";
+    case kCodecDelta:
+      return "delta";
+    case kCodecZstd:
+      return "zstd";
+    case kCodecDeltaZstd:
+      return "delta+zstd";
+    default:
+      return {};
+  }
+}
+
+std::string available_codec_names() {
+  std::string names;
+  for (const std::uint32_t id :
+       {kCodecRaw, kCodecDelta, kCodecZstd, kCodecDeltaZstd}) {
+    const ChunkCodec* codec = codec_by_id(id);
+    if (codec == nullptr) continue;
+    if (!names.empty()) names += ", ";
+    names += codec->name();
+  }
+  return names;
+}
+
+bool zstd_available() noexcept {
+  return detail::zstd_codec_by_id(kCodecZstd) != nullptr;
+}
+
+EncodedChunk encode_chunk(std::uint32_t requested, const ChunkLayout& layout,
+                          std::span<const std::byte> raw) {
+  const ChunkCodec* codec = codec_by_id(requested);
+  if (codec == nullptr) {
+    const std::string_view reserved = reserved_codec_name(requested);
+    throw std::invalid_argument(
+        reserved.empty()
+            ? "unknown codec id " + std::to_string(requested)
+            : "codec '" + std::string(reserved) +
+                  "' is not available in this build (MINICOST_WITH_ZSTD=OFF)");
+  }
+  EncodedChunk result;
+  // Fallback chain: delta+zstd -> zstd -> raw; delta -> raw. A codec only
+  // declines payloads (fractional chunks under delta); raw never declines.
+  for (const ChunkCodec* attempt = codec; attempt != nullptr;) {
+    result.bytes.clear();
+    if (attempt->encode(layout, raw, result.bytes)) {
+      result.codec_id = attempt->id();
+      break;
+    }
+    switch (attempt->id()) {
+      case kCodecDeltaZstd:
+        attempt = codec_by_id(kCodecZstd);
+        break;
+      case kCodecZstd:
+      case kCodecDelta:
+        attempt = codec_by_id(kCodecRaw);
+        break;
+      default:
+        throw std::runtime_error("codec '" + std::string(attempt->name()) +
+                                 "' declined a chunk with no fallback");
+    }
+  }
+  // Compression that grows the chunk is stored raw: every chunk obeys
+  // encoded_bytes <= raw_bytes, which also bounds reader-side allocations.
+  if (result.codec_id != kCodecRaw && result.bytes.size() >= layout.raw_bytes()) {
+    result.bytes.clear();
+    (void)raw_codec.encode(layout, raw, result.bytes);
+    result.codec_id = kCodecRaw;
+  }
+  return result;
+}
+
+void decode_chunk(std::uint32_t codec_id, const ChunkLayout& layout,
+                  std::span<const std::byte> encoded,
+                  std::span<std::byte> raw_out) {
+  const ChunkCodec* codec = codec_by_id(codec_id);
+  if (codec == nullptr) {
+    const std::string_view reserved = reserved_codec_name(codec_id);
+    throw std::runtime_error(
+        reserved.empty()
+            ? "unknown codec id " + std::to_string(codec_id)
+            : "codec '" + std::string(reserved) +
+                  "' is not available in this build (MINICOST_WITH_ZSTD=OFF)");
+  }
+  codec->decode(layout, encoded, raw_out);
+}
+
+}  // namespace minicost::codec

@@ -1,0 +1,127 @@
+#pragma once
+// Pluggable per-chunk codecs for the .mct v2 container (DESIGN.md §13).
+//
+// A *chunk* is a contiguous run of files' frequency blocks in the exact v1
+// on-disk layout: file-major, reads series then writes series per file,
+// each series `days * 8` bytes zero-padded to `stride` (a multiple of the
+// 64-byte SIMD alignment, store/format.hpp). A codec turns that raw block
+// into fewer bytes and back — *bit-exactly*, padding included — so a
+// decoded chunk is indistinguishable from an mmapped v1 one and every
+// consumer downstream (SIMD kernels, ExactSum shard merge, billing) is
+// untouched by construction.
+//
+// Codecs are identified by a stable on-disk id (kCodec*) recorded per chunk
+// in the v2 chunk table; the container header additionally records the id
+// the writer was *asked* for. The registry maps ids/names to singleton
+// codec instances. Ids are append-only: never renumber, never reuse.
+//
+//   raw         0  passthrough (memcpy); always available, never fails
+//   delta       1  per-series delta + zigzag + bit-packed blocks; only
+//                  applies when every value in the chunk is an integral
+//                  double (bit-exact int64 round-trip) — counts, the common
+//                  case for request traces. Encode returns false otherwise.
+//   zstd        2  zstd frame over the raw layout bytes (MINICOST_WITH_ZSTD)
+//   delta+zstd  3  zstd frame over the delta stream (MINICOST_WITH_ZSTD)
+//
+// encode_chunk() owns the fallback policy: try the requested codec, fall
+// back (delta→raw, delta+zstd→zstd→raw) when it declines, and store raw
+// whenever the "compressed" form would not actually be smaller. Every chunk
+// therefore obeys encoded_bytes <= raw_bytes, and a v2 container can mix
+// per-chunk codecs (e.g. delta chunks with a raw fallback for a chunk of
+// fractional rates).
+//
+// Determinism: decode(encode(x)) == x byte-for-byte for every codec, so
+// WHAT a chunk was compressed with cannot change a single bit of any bill.
+// The delta stream is deterministic; zstd frames are deterministic for a
+// fixed library version and level, but may differ across zstd releases —
+// only container bytes shift, never decoded contents.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace minicost::codec {
+
+inline constexpr std::uint32_t kCodecRaw = 0;
+inline constexpr std::uint32_t kCodecDelta = 1;
+inline constexpr std::uint32_t kCodecZstd = 2;
+inline constexpr std::uint32_t kCodecDeltaZstd = 3;
+
+/// Shape of one chunk's raw payload. `stride` is the padded per-series byte
+/// count (store::series_stride_bytes); raw_bytes() is what decode must fill.
+struct ChunkLayout {
+  std::size_t files = 0;   ///< files in this chunk
+  std::size_t days = 0;    ///< values per series
+  std::size_t stride = 0;  ///< bytes per series block on disk (padded)
+
+  std::size_t series_count() const noexcept { return files * 2; }
+  std::size_t raw_bytes() const noexcept { return files * 2 * stride; }
+};
+
+/// One compression scheme. Implementations are stateless singletons owned
+/// by the registry; all methods are const and thread-safe.
+class ChunkCodec {
+ public:
+  virtual ~ChunkCodec() = default;
+
+  virtual std::uint32_t id() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Appends the encoded form of `raw` (layout.raw_bytes() bytes in the v1
+  /// series layout) to `out`. Returns false — leaving `out` untouched — if
+  /// this codec cannot represent the payload losslessly (the caller falls
+  /// back); throws std::runtime_error on an internal failure.
+  virtual bool encode(const ChunkLayout& layout,
+                      std::span<const std::byte> raw,
+                      std::vector<std::byte>& out) const = 0;
+
+  /// Inverse of encode: fills `raw_out` (exactly layout.raw_bytes() bytes)
+  /// from the encoded block. Throws std::runtime_error on a malformed
+  /// stream — never reads or writes out of bounds on adversarial input.
+  virtual void decode(const ChunkLayout& layout,
+                      std::span<const std::byte> encoded,
+                      std::span<std::byte> raw_out) const = 0;
+};
+
+/// Registry lookups. Unknown — or known-but-not-built-in (zstd ids in a
+/// build without MINICOST_WITH_ZSTD) — ids/names return nullptr.
+const ChunkCodec* codec_by_id(std::uint32_t id) noexcept;
+const ChunkCodec* codec_by_name(std::string_view name) noexcept;
+
+/// Name for any *reserved* id, including ids this build cannot decode
+/// ("zstd" without MINICOST_WITH_ZSTD); empty for genuinely unknown ids.
+/// Lets error messages distinguish "rebuild with zstd" from "corrupt id".
+std::string_view reserved_codec_name(std::uint32_t id) noexcept;
+
+/// Names usable with codec_by_name in THIS build, comma-joined for CLI help
+/// and error messages (e.g. "raw, delta, zstd, delta+zstd").
+std::string available_codec_names();
+
+/// True when this build carries the zstd-backed codecs.
+bool zstd_available() noexcept;
+
+/// Result of encode_chunk: the codec actually used (may differ from the
+/// requested one via fallback) and its output.
+struct EncodedChunk {
+  std::uint32_t codec_id = kCodecRaw;
+  std::vector<std::byte> bytes;
+};
+
+/// Encodes one chunk with `requested` (a registered codec id), applying the
+/// fallback policy documented above. The result always satisfies
+/// bytes.size() <= layout.raw_bytes(). Throws std::invalid_argument when
+/// `requested` is not available in this build, std::runtime_error on codec
+/// failure.
+EncodedChunk encode_chunk(std::uint32_t requested, const ChunkLayout& layout,
+                          std::span<const std::byte> raw);
+
+/// Decodes one chunk encoded by `codec_id` into raw_out (must be exactly
+/// layout.raw_bytes() long). Throws std::runtime_error for unavailable ids
+/// or malformed streams.
+void decode_chunk(std::uint32_t codec_id, const ChunkLayout& layout,
+                  std::span<const std::byte> encoded,
+                  std::span<std::byte> raw_out);
+
+}  // namespace minicost::codec

@@ -1,0 +1,147 @@
+// zstd-backed chunk codecs (kCodecZstd, kCodecDeltaZstd). Compiled in every
+// build; the implementation is gated on MINICOST_WITH_ZSTD so a toolchain
+// without libzstd still builds the codec library — those ids just resolve
+// to nullptr and the reader reports "not available in this build".
+//
+// Only the stable, v1-era zstd API is used (ZSTD_compress/ZSTD_decompress/
+// ZSTD_compressBound/ZSTD_isError), so any libzstd.so.1 satisfies the
+// runtime dependency. Compression level is pinned (kLevel): container bytes
+// are reproducible for a fixed zstd release, and decoded bytes are
+// reproducible unconditionally — which is the only property billing needs.
+
+#include "codec/zstd_codec.hpp"
+
+#include "codec/chunk_codec.hpp"
+
+#ifdef MINICOST_WITH_ZSTD
+
+#include <zstd.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "codec/delta_codec.hpp"
+
+namespace minicost::codec {
+namespace {
+
+constexpr int kLevel = 3;
+
+/// Shared frame plumbing: compress `payload` into out / decompress into a
+/// caller-sized buffer, with every zstd error surfaced as a runtime_error.
+void zstd_compress_into(std::span<const std::byte> payload,
+                        std::vector<std::byte>& out, const char* who) {
+  const std::size_t prior = out.size();
+  const std::size_t bound = ZSTD_compressBound(payload.size());
+  out.resize(prior + bound);
+  const std::size_t written =
+      ZSTD_compress(out.data() + prior, bound, payload.data(), payload.size(),
+                    kLevel);
+  if (ZSTD_isError(written) != 0u)
+    throw std::runtime_error(std::string(who) + ": " +
+                             ZSTD_getErrorName(written));
+  out.resize(prior + written);
+}
+
+void zstd_decompress_into(std::span<const std::byte> encoded,
+                          std::span<std::byte> payload, const char* who) {
+  const std::size_t got = ZSTD_decompress(payload.data(), payload.size(),
+                                          encoded.data(), encoded.size());
+  if (ZSTD_isError(got) != 0u)
+    throw std::runtime_error(std::string(who) + ": " +
+                             ZSTD_getErrorName(got));
+  if (got != payload.size())
+    throw std::runtime_error(std::string(who) + ": frame decoded to " +
+                             std::to_string(got) + " bytes, expected " +
+                             std::to_string(payload.size()));
+}
+
+class ZstdCodec final : public ChunkCodec {
+ public:
+  std::uint32_t id() const noexcept override { return kCodecZstd; }
+  std::string_view name() const noexcept override { return "zstd"; }
+
+  bool encode(const ChunkLayout& layout, std::span<const std::byte> raw,
+              std::vector<std::byte>& out) const override {
+    if (raw.size() != layout.raw_bytes())
+      throw std::invalid_argument("zstd encode: raw size mismatch");
+    zstd_compress_into(raw, out, "zstd encode");
+    return true;
+  }
+
+  void decode(const ChunkLayout& layout, std::span<const std::byte> encoded,
+              std::span<std::byte> raw_out) const override {
+    if (raw_out.size() != layout.raw_bytes())
+      throw std::invalid_argument("zstd decode: raw size mismatch");
+    zstd_decompress_into(encoded, raw_out, "zstd chunk");
+  }
+};
+
+class DeltaZstdCodec final : public ChunkCodec {
+ public:
+  std::uint32_t id() const noexcept override { return kCodecDeltaZstd; }
+  std::string_view name() const noexcept override { return "delta+zstd"; }
+
+  bool encode(const ChunkLayout& layout, std::span<const std::byte> raw,
+              std::vector<std::byte>& out) const override {
+    std::vector<std::byte> delta_stream;
+    const ChunkCodec* delta = codec_by_id(kCodecDelta);
+    if (!delta->encode(layout, raw, delta_stream)) return false;  // fractional
+    zstd_compress_into(delta_stream, out, "delta+zstd encode");
+    return true;
+  }
+
+  void decode(const ChunkLayout& layout, std::span<const std::byte> encoded,
+              std::span<std::byte> raw_out) const override {
+    if (raw_out.size() != layout.raw_bytes())
+      throw std::invalid_argument("delta+zstd decode: raw size mismatch");
+    // The inner delta stream's size is carried by the zstd frame header;
+    // bound it by the largest stream the packer can emit for this layout
+    // (8 bytes per value plus one width byte per block), so a forged frame
+    // cannot trigger an unbounded allocation.
+    const std::size_t count = layout.series_count() * layout.days;
+    const std::size_t max_stream =
+        count * sizeof(std::uint64_t) +
+        (count + kBlockValues - 1) / kBlockValues;
+    const unsigned long long content =
+        ZSTD_getFrameContentSize(encoded.data(), encoded.size());
+    if (content == ZSTD_CONTENTSIZE_ERROR ||
+        content == ZSTD_CONTENTSIZE_UNKNOWN || content > max_stream)
+      throw std::runtime_error(
+          "delta+zstd chunk: missing or oversized frame content size");
+    std::vector<std::byte> delta_stream(static_cast<std::size_t>(content));
+    zstd_decompress_into(encoded, delta_stream, "delta+zstd chunk");
+    codec_by_id(kCodecDelta)->decode(layout, delta_stream, raw_out);
+  }
+};
+
+const ZstdCodec zstd_codec;
+const DeltaZstdCodec delta_zstd_codec;
+
+}  // namespace
+
+namespace detail {
+
+const ChunkCodec* zstd_codec_by_id(std::uint32_t id) noexcept {
+  switch (id) {
+    case kCodecZstd:
+      return &zstd_codec;
+    case kCodecDeltaZstd:
+      return &delta_zstd_codec;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace detail
+}  // namespace minicost::codec
+
+#else  // !MINICOST_WITH_ZSTD
+
+namespace minicost::codec::detail {
+
+const ChunkCodec* zstd_codec_by_id(std::uint32_t) noexcept { return nullptr; }
+
+}  // namespace minicost::codec::detail
+
+#endif

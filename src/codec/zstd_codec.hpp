@@ -1,0 +1,19 @@
+#pragma once
+// Internal hook between the codec registry and the optionally-built zstd
+// codecs. zstd_codec.cpp always compiles; without MINICOST_WITH_ZSTD it
+// returns nullptr for every id and the registry simply has no zstd entries.
+
+#include <cstdint>
+
+namespace minicost::codec {
+
+class ChunkCodec;
+
+namespace detail {
+
+/// kCodecZstd / kCodecDeltaZstd singletons, or nullptr when this build has
+/// no zstd (or for any other id).
+const ChunkCodec* zstd_codec_by_id(std::uint32_t id) noexcept;
+
+}  // namespace detail
+}  // namespace minicost::codec

@@ -24,6 +24,8 @@
 
 #include "store/format.hpp"
 #include "trace/trace.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace minicost::util {
 class ThreadPool;
@@ -38,8 +40,12 @@ class TraceReader {
   explicit TraceReader(const std::filesystem::path& path);
   ~TraceReader();
 
-  TraceReader(TraceReader&& other) noexcept;
-  TraceReader& operator=(TraceReader&& other) noexcept;
+  // Moves transfer the decoded-frequency cache without locking: moving a
+  // reader that another thread is concurrently using is already a race, so
+  // the analysis is waived rather than pretending a lock would fix it.
+  TraceReader(TraceReader&& other) noexcept MC_NO_THREAD_SAFETY_ANALYSIS;
+  TraceReader& operator=(TraceReader&& other) noexcept
+      MC_NO_THREAD_SAFETY_ANALYSIS;
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
@@ -50,9 +56,28 @@ class TraceReader {
   std::uint64_t total_bytes() const noexcept { return header_.total_bytes; }
   const Header& header() const noexcept { return header_; }
 
+  /// True for a version 2 (chunk-encoded) container.
+  bool is_v2() const noexcept { return header_.version == kFormatVersionV2; }
+  /// The v2 header extension; meaningful only when is_v2().
+  const HeaderV2Ext& v2_ext() const noexcept { return ext_; }
+  /// The v2 chunk table (empty for v1 containers).
+  std::span<const ChunkEntry> chunk_table() const noexcept {
+    return {chunk_table_, is_v2() ? ext_.chunk_count : 0};
+  }
+  /// Bytes the frequency section occupies once decoded (== freq_bytes for
+  /// v1, where it is stored uncompressed).
+  std::uint64_t freq_raw_bytes() const noexcept {
+    return is_v2() ? ext_.freq_raw_bytes : header_.freq_bytes;
+  }
+
   std::string_view name(std::size_t file) const;
   double size_gb(std::size_t file) const;
-  /// The file's daily read/write series, mapped in place (64-byte aligned).
+  /// The file's daily read/write series, 64-byte aligned. v1: mapped in
+  /// place, zero copies. v2: served from a lazily-decoded resident copy of
+  /// the whole frequency section (built once, under an internal lock) —
+  /// random access over a chunked container costs O(section) memory, so the
+  /// shard-sized paths go through materialize_shard() instead, which decodes
+  /// only the overlapping chunks.
   std::span<const double> reads(std::size_t file) const;
   std::span<const double> writes(std::size_t file) const;
 
@@ -101,14 +126,35 @@ class TraceReader {
     return base_ + offset;
   }
   void validate(const std::filesystem::path& path);
+  void validate_v2(const std::filesystem::path& path);
+  /// Files covered by chunk `index` (the last chunk may be partial).
+  std::size_t chunk_file_count(std::size_t index) const noexcept;
+  /// CRC-checks and decodes chunk `index` into `raw_out` (sized exactly
+  /// chunk_table_[index].raw_bytes). Thread-safe: reads only the immutable
+  /// mapping. Throws std::runtime_error on corruption.
+  void decode_chunk_into(std::size_t index, std::span<std::byte> raw_out) const;
+  /// v2 reads()/writes() backing store: decodes the whole frequency section
+  /// once (64-byte aligned) and returns its base. Safe to call concurrently.
+  const std::byte* decoded_freq_base() const;
+  void collect_groups(std::size_t first, std::size_t count,
+                      std::vector<trace::CoRequestGroup>& groups) const;
 
   const std::byte* base_ = nullptr;
   std::size_t mapped_bytes_ = 0;
   Header header_{};
+  HeaderV2Ext ext_{};  ///< zeroed for v1 containers
   const FileEntry* file_table_ = nullptr;
+  const ChunkEntry* chunk_table_ = nullptr;  ///< v2 only
   /// Offset of each group record inside the group section (built on open;
   /// group records are variable-length so random access needs an index).
   std::vector<std::uint64_t> group_offsets_;
+  /// Lazily-built decoded frequency section for v2 random access. The
+  /// vector over-allocates by kSeriesAlign so decoded_base_ can be aligned;
+  /// once built (empty -> full transition under freq_mutex_) the contents
+  /// are immutable.
+  mutable util::Mutex freq_mutex_;
+  mutable std::vector<std::byte> decoded_freq_ MC_GUARDED_BY(freq_mutex_);
+  mutable const std::byte* decoded_base_ MC_GUARDED_BY(freq_mutex_) = nullptr;
 };
 
 }  // namespace minicost::store

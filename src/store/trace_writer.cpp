@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "codec/chunk_codec.hpp"
 #include "store/crc32.hpp"
 
 namespace minicost::store {
@@ -14,9 +15,28 @@ void append_bytes(std::vector<std::byte>& buffer, const void* data,
   buffer.insert(buffer.end(), p, p + len);
 }
 
+std::uint32_t resolve_codec(const std::string& name) {
+  const codec::ChunkCodec* c = codec::codec_by_name(name);
+  if (c != nullptr) return c->id();
+  // A reserved name that didn't resolve means the codec exists but was
+  // compiled out; say so rather than calling it unknown.
+  for (std::uint32_t id = 0; !codec::reserved_codec_name(id).empty(); ++id)
+    if (codec::reserved_codec_name(id) == name)
+      throw std::invalid_argument("TraceWriter: codec '" + name +
+                                  "' is not available in this build "
+                                  "(MINICOST_WITH_ZSTD=OFF)");
+  throw std::invalid_argument("TraceWriter: unknown codec '" + name +
+                              "' (available: " +
+                              codec::available_codec_names() + ")");
+}
+
 }  // namespace
 
 TraceWriter::TraceWriter(const std::filesystem::path& path, std::size_t days)
+    : TraceWriter(path, days, WriterOptions{}) {}
+
+TraceWriter::TraceWriter(const std::filesystem::path& path, std::size_t days,
+                         const WriterOptions& options)
     : path_(path),
       out_(path, std::ios::binary | std::ios::trunc),
       days_(days),
@@ -25,6 +45,19 @@ TraceWriter::TraceWriter(const std::filesystem::path& path, std::size_t days)
     throw std::runtime_error("TraceWriter: trace must span at least one day");
   if (!out_)
     throw std::runtime_error("TraceWriter: cannot create " + path.string());
+  if (!options.codec.empty()) {
+    v2_ = true;
+    codec_id_ = resolve_codec(options.codec);
+    if (options.files_per_chunk == 0 ||
+        options.files_per_chunk > kMaxFilesPerChunk)
+      throw std::invalid_argument(
+          "TraceWriter: files_per_chunk must be in [1, " +
+          std::to_string(kMaxFilesPerChunk) + "] (got " +
+          std::to_string(options.files_per_chunk) + ")");
+    files_per_chunk_ = options.files_per_chunk;
+    chunk_raw_.reserve(static_cast<std::size_t>(files_per_chunk_) * 2 *
+                       static_cast<std::size_t>(stride_));
+  }
   // Reserve the header block; it is rewritten with real contents (and the
   // checksums that only finish() can know) at the end.
   const std::vector<char> zeros(kHeaderBytes, 0);
@@ -46,6 +79,36 @@ void TraceWriter::write_series(std::span<const double> series) {
   }
 }
 
+void TraceWriter::buffer_series(std::span<const double> series) {
+  append_bytes(chunk_raw_, series.data(), series.size_bytes());
+  const std::size_t padding =
+      static_cast<std::size_t>(stride_) - series.size_bytes();
+  if (padding > 0) append_bytes(chunk_raw_, pad_.data(), padding);
+}
+
+void TraceWriter::flush_chunk() {
+  if (chunk_files_ == 0) return;
+  const codec::ChunkLayout layout{chunk_files_, days_,
+                                  static_cast<std::size_t>(stride_)};
+  const codec::EncodedChunk encoded =
+      codec::encode_chunk(codec_id_, layout, chunk_raw_);
+  ChunkEntry entry;
+  entry.offset = freq_pos_;
+  entry.encoded_bytes = encoded.bytes.size();
+  entry.raw_bytes = layout.raw_bytes();
+  entry.codec_id = encoded.codec_id;
+  entry.crc = crc32(encoded.bytes.data(), encoded.bytes.size());
+  chunks_.push_back(entry);
+  out_.write(reinterpret_cast<const char*>(encoded.bytes.data()),
+             static_cast<std::streamsize>(encoded.bytes.size()));
+  // crc_freq keeps its v1 meaning — CRC of the frequency section's on-disk
+  // bytes — which in v2 is the concatenated encoded chunks.
+  crc_freq_ = crc32(encoded.bytes.data(), encoded.bytes.size(), crc_freq_);
+  freq_pos_ += encoded.bytes.size();
+  chunk_raw_.clear();
+  chunk_files_ = 0;
+}
+
 void TraceWriter::add_file(std::string_view name, double size_gb,
                            std::span<const double> reads,
                            std::span<const double> writes) {
@@ -60,8 +123,14 @@ void TraceWriter::add_file(std::string_view name, double size_gb,
   entry.size_gb = size_gb;
   names_.append(name);
   entries_.push_back(entry);
-  write_series(reads);
-  write_series(writes);
+  if (v2_) {
+    buffer_series(reads);
+    buffer_series(writes);
+    if (++chunk_files_ == files_per_chunk_) flush_chunk();
+  } else {
+    write_series(reads);
+    write_series(writes);
+  }
   if (!out_)
     throw std::runtime_error("TraceWriter::add_file: write failed on " +
                              path_.string());
@@ -111,17 +180,39 @@ void TraceWriter::finish() {
     }
   }
 
+  if (v2_) flush_chunk();  // the final, possibly partial, chunk
+
   Header header;
   std::memcpy(header.magic, kMagic, sizeof kMagic);
   header.endian_tag = kEndianTag;
-  header.version = kFormatVersion;
+  header.version = v2_ ? kFormatVersionV2 : kFormatVersion;
   header.days = days_;
   header.file_count = entries_.size();
   header.group_count = group_count_;
   header.series_stride = stride_;
   header.freq_offset = kHeaderBytes;
-  header.freq_bytes = entries_.size() * 2 * stride_;
-  header.file_table_offset = header.freq_offset + header.freq_bytes;
+  header.freq_bytes = v2_ ? freq_pos_ : entries_.size() * 2 * stride_;
+
+  HeaderV2Ext ext;
+  std::uint64_t metadata_offset = header.freq_offset + header.freq_bytes;
+  if (v2_) {
+    ext.codec_id = codec_id_;
+    ext.files_per_chunk = files_per_chunk_;
+    ext.chunk_count = chunks_.size();
+    ext.chunk_table_offset = round_up(metadata_offset, kGroupAlign);
+    ext.chunk_table_bytes = chunks_.size() * sizeof(ChunkEntry);
+    ext.freq_raw_bytes = entries_.size() * 2 * stride_;
+    ext.crc_chunk_table =
+        crc32(chunks_.data(), chunks_.size() * sizeof(ChunkEntry));
+    ext.crc_ext = crc32(&ext, offsetof(HeaderV2Ext, crc_ext));
+    for (std::uint64_t i = metadata_offset; i < ext.chunk_table_offset; ++i)
+      out_.put('\0');
+    out_.write(reinterpret_cast<const char*>(chunks_.data()),
+               static_cast<std::streamsize>(ext.chunk_table_bytes));
+    metadata_offset = ext.chunk_table_offset + ext.chunk_table_bytes;
+  }
+
+  header.file_table_offset = metadata_offset;
   header.file_table_bytes = entries_.size() * sizeof(FileEntry);
   header.names_offset = header.file_table_offset + header.file_table_bytes;
   header.names_bytes = names_.size();
@@ -148,6 +239,11 @@ void TraceWriter::finish() {
   out_.seekp(0);
   out_.write(reinterpret_cast<const char*>(&header),
              static_cast<std::streamsize>(sizeof header));
+  if (v2_) {
+    out_.seekp(static_cast<std::streamoff>(kV2ExtOffset));
+    out_.write(reinterpret_cast<const char*>(&ext),
+               static_cast<std::streamsize>(sizeof ext));
+  }
   out_.flush();
   if (!out_)
     throw std::runtime_error("TraceWriter::finish: write failed on " +
@@ -158,7 +254,13 @@ void TraceWriter::finish() {
 
 void pack_trace(const trace::RequestTrace& trace,
                 const std::filesystem::path& path) {
-  TraceWriter writer(path, trace.days());
+  pack_trace(trace, path, WriterOptions{});
+}
+
+void pack_trace(const trace::RequestTrace& trace,
+                const std::filesystem::path& path,
+                const WriterOptions& options) {
+  TraceWriter writer(path, trace.days(), options);
   for (const trace::FileRecord& f : trace.files())
     writer.add_file(f.name, f.size_gb, f.reads, f.writes);
   for (const trace::CoRequestGroup& g : trace.groups())

@@ -9,10 +9,16 @@
 // aggregation, or from an existing in-RAM RequestTrace via pack_trace().
 //
 // Usage:
-//   TraceWriter w(path, days);
+//   TraceWriter w(path, days);            // v1, or pass WriterOptions for v2
 //   for each file:  w.add_file(name, size_gb, reads, writes);
 //   for each group: w.add_group(members, concurrent_reads);
 //   w.finish();   // writes metadata sections + checksummed header
+//
+// With a non-empty WriterOptions::codec the writer emits a version 2
+// container: frequency bytes are buffered files_per_chunk files at a time
+// and flushed through codec::encode_chunk (which may fall back per chunk —
+// e.g. delta declines fractional series), so memory stays
+// O(files_per_chunk * days), not O(trace).
 //
 // finish() must be called for the file to be valid; a writer destroyed
 // without it leaves a file that TraceReader::open rejects (zero header) —
@@ -31,11 +37,27 @@
 
 namespace minicost::store {
 
+/// Container options. The default (empty codec) writes the historical
+/// version 1 layout byte-for-byte; naming a codec switches to version 2.
+struct WriterOptions {
+  /// "" -> v1. Otherwise a codec name ("raw", "delta", "zstd",
+  /// "delta+zstd"); names this build cannot serve make the constructor
+  /// throw with a message listing what is available.
+  std::string codec;
+  /// Files per v2 chunk (clamped-checked: must be in [1, kMaxFilesPerChunk]).
+  /// 1024 files x 365 days is ~6 MiB of raw chunk buffer.
+  std::uint32_t files_per_chunk = 1024;
+};
+
 class TraceWriter {
  public:
   /// Opens `path` for writing and reserves the header block. Throws
-  /// std::runtime_error if the file cannot be created or days == 0.
+  /// std::runtime_error if the file cannot be created or days == 0, and
+  /// std::invalid_argument for an unknown/unavailable codec or an
+  /// out-of-range files_per_chunk.
   TraceWriter(const std::filesystem::path& path, std::size_t days);
+  TraceWriter(const std::filesystem::path& path, std::size_t days,
+              const WriterOptions& options);
   ~TraceWriter();
 
   TraceWriter(const TraceWriter&) = delete;
@@ -63,6 +85,9 @@ class TraceWriter {
 
  private:
   void write_series(std::span<const double> series);
+  void buffer_series(std::span<const double> series);
+  /// Encodes and writes the buffered chunk (v2 only; no-op when empty).
+  void flush_chunk();
 
   std::filesystem::path path_;
   std::ofstream out_;
@@ -75,10 +100,21 @@ class TraceWriter {
   std::uint32_t crc_freq_ = 0;
   std::vector<std::byte> pad_;  ///< reusable zero padding
   bool finished_ = false;
+  // v2 state (unused when codec_id_ is absent == v1).
+  bool v2_ = false;
+  std::uint32_t codec_id_ = 0;       ///< requested codec (chunks may fall back)
+  std::uint32_t files_per_chunk_ = 0;
+  std::vector<std::byte> chunk_raw_;  ///< raw v1-layout bytes of the open chunk
+  std::size_t chunk_files_ = 0;       ///< files buffered in chunk_raw_
+  std::vector<ChunkEntry> chunks_;
+  std::uint64_t freq_pos_ = 0;  ///< encoded bytes written so far
 };
 
 /// Packs an in-RAM trace into a .mct file (convenience over TraceWriter).
 void pack_trace(const trace::RequestTrace& trace,
                 const std::filesystem::path& path);
+void pack_trace(const trace::RequestTrace& trace,
+                const std::filesystem::path& path,
+                const WriterOptions& options);
 
 }  // namespace minicost::store

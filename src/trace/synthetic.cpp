@@ -142,6 +142,13 @@ FileRecord make_file(const SyntheticConfig& config,
   const double size_mb = std::max(
       config.min_size_mb, static_cast<double>(rng.poisson(config.mean_size_mb)));
   f.size_gb = size_mb / 1024.0;
+
+  if (config.integral_counts) {
+    // Requests arrive whole; rounding (not truncating) keeps the mean rate
+    // of quiet files instead of zeroing them out.
+    for (double& v : f.reads) v = std::round(v);
+    for (double& v : f.writes) v = std::round(v);
+  }
   return f;
 }
 

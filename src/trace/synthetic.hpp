@@ -72,6 +72,14 @@ struct SyntheticConfig {
   double concurrency_min = 0.2;  ///< r_dc = U[min,max] * min member rate
   double concurrency_max = 0.9;
 
+  /// Round the generated read/write frequencies to whole requests, which is
+  /// what real count-derived traces (e.g. pagecounts aggregations) contain.
+  /// OFF by default to keep the historical fractional-rate workload — and
+  /// every baseline derived from it — bit-stable. Integral counts are what
+  /// the .mct v2 delta codec is built for; fractional series make it fall
+  /// back to raw/zstd per chunk.
+  bool integral_counts = false;
+
   std::uint64_t seed = 42;
 };
 

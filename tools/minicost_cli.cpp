@@ -315,6 +315,19 @@ int cmd_plan_store(const util::Cli& cli) {
       std::cerr << "plan: unknown policy '" << name << "'\n";
       return 1;
     }
+  // Validate before the size_t casts: a negative flag value would silently
+  // wrap into an absurd shard size or prefetch depth.
+  if (cli.integer("shard-files") < 0) {
+    std::cerr << "plan: --shard-files must be >= 0 (0 = one shard), got "
+              << cli.integer("shard-files") << "\n";
+    return 1;
+  }
+  if (cli.integer("prefetch-depth") < 1 || cli.integer("prefetch-depth") > 64) {
+    std::cerr << "plan: --prefetch-depth must be in [1, 64] (shards readied "
+                 "ahead), got "
+              << cli.integer("prefetch-depth") << "\n";
+    return 1;
+  }
   config.options.shard_files =
       static_cast<std::size_t>(cli.integer("shard-files"));
   config.options.start_day =

@@ -18,6 +18,7 @@
 #include <iostream>
 #include <memory>
 
+#include "codec/chunk_codec.hpp"
 #include "core/forecast_policy.hpp"
 #include "core/greedy.hpp"
 #include "core/optimal.hpp"
@@ -53,18 +54,41 @@ pricing::PricingPolicy make_prices(const std::string& preset) {
                            : pricing::PricingPolicy::azure_2020();
 }
 
+/// Shared --codec/--files-per-chunk handling for pack and generate. Returns
+/// false (after printing a one-line error) on a bad combination.
+bool writer_options_from_cli(const util::Cli& cli, const char* command,
+                             store::WriterOptions& options) {
+  options.codec = cli.str("codec");
+  if (options.codec == "v1") options.codec.clear();  // explicit v1 spelling
+  const std::int64_t per_chunk = cli.integer("files-per-chunk");
+  if (per_chunk < 1 ||
+      per_chunk > static_cast<std::int64_t>(store::kMaxFilesPerChunk)) {
+    std::cerr << command << ": --files-per-chunk must be in [1, "
+              << store::kMaxFilesPerChunk << "] (got " << per_chunk << ")\n";
+    return false;
+  }
+  options.files_per_chunk = static_cast<std::uint32_t>(per_chunk);
+  return true;
+}
+
 int cmd_pack(int argc, const char* const* argv) {
   util::Cli cli("tracepack pack", "convert a CSV trace to a .mct container");
+  cli.add_flag("codec", "v1",
+               "container codec: v1 (uncompressed version 1 layout) or a v2 "
+               "chunk codec: raw | delta | zstd | delta+zstd");
+  cli.add_flag("files-per-chunk", "1024", "files per v2 chunk");
   if (!cli.parse(argc, argv)) return 1;
   if (cli.positional().size() != 2) {
     std::cerr << "pack: need <trace.csv> <trace.mct>\n";
     return 1;
   }
+  store::WriterOptions options;
+  if (!writer_options_from_cli(cli, "pack", options)) return 1;
   const trace::RequestTrace tr = trace::load_trace(cli.positional()[0]);
-  store::pack_trace(tr, cli.positional()[1]);
+  store::pack_trace(tr, cli.positional()[1], options);
   std::cout << "packed " << tr.file_count() << " files x " << tr.days()
             << " days (" << tr.groups().size() << " groups) into "
-            << cli.positional()[1] << "\n";
+            << cli.positional()[1] << " (codec " << cli.str("codec") << ")\n";
   return 0;
 }
 
@@ -91,16 +115,45 @@ int cmd_info(int argc, const char* const* argv) {
   }
   const store::TraceReader reader(cli.positional().front());
   const store::Header& h = reader.header();
+  const auto size_cell = [](std::uint64_t bytes) {
+    return util::format_double(static_cast<double>(bytes) / (1024.0 * 1024.0),
+                               2) +
+           " MiB (" + util::format_count(bytes) + " B)";
+  };
   util::Table table({"field", "value"});
   table.add_row({"format version", std::to_string(h.version)});
+  if (reader.is_v2()) {
+    const store::HeaderV2Ext& ext = reader.v2_ext();
+    table.add_row({"codec",
+                   std::string(codec::reserved_codec_name(ext.codec_id)) +
+                       " (id " + std::to_string(ext.codec_id) + ")"});
+    table.add_row({"chunks", util::format_count(ext.chunk_count) + " x " +
+                                 util::format_count(ext.files_per_chunk) +
+                                 " files"});
+  } else {
+    table.add_row({"codec", "v1/raw"});
+  }
   table.add_row({"days", std::to_string(h.days)});
   table.add_row({"files", util::format_count(h.file_count)});
   table.add_row({"co-request groups", util::format_count(h.group_count)});
   table.add_row({"series stride", std::to_string(h.series_stride) + " B"});
-  table.add_row({"frequency section",
-                 util::format_double(static_cast<double>(h.freq_bytes) / (1024.0 * 1024.0), 1) + " MiB"});
-  table.add_row({"container size",
-                 util::format_double(static_cast<double>(h.total_bytes) / (1024.0 * 1024.0), 1) + " MiB"});
+  table.add_row({"frequency section", size_cell(h.freq_bytes)});
+  if (reader.is_v2()) {
+    table.add_row({"frequency decoded", size_cell(reader.freq_raw_bytes())});
+    table.add_row(
+        {"compression ratio",
+         h.freq_bytes == 0
+             ? "n/a"
+             : util::format_double(static_cast<double>(reader.freq_raw_bytes()) /
+                                       static_cast<double>(h.freq_bytes),
+                                   2) +
+                   "x"});
+    table.add_row({"chunk table", size_cell(reader.v2_ext().chunk_table_bytes)});
+  }
+  table.add_row({"file table", size_cell(h.file_table_bytes)});
+  table.add_row({"name blob", size_cell(h.names_bytes)});
+  table.add_row({"group section", size_cell(h.groups_bytes)});
+  table.add_row({"container size", size_cell(h.total_bytes)});
   std::cout << cli.positional().front() << ":\n" << table.to_string();
   return 0;
 }
@@ -133,18 +186,29 @@ int cmd_generate(int argc, const char* const* argv) {
                "include co-request groups (whole-trace construct: forces "
                "in-memory generation)");
   cli.add_flag("out", "trace.mct", "output container");
+  cli.add_flag("codec", "v1",
+               "container codec: v1 (uncompressed version 1 layout) or a v2 "
+               "chunk codec: raw | delta | zstd | delta+zstd");
+  cli.add_flag("files-per-chunk", "1024", "files per v2 chunk");
+  cli.add_flag("integral-counts", "false",
+               "round the synthetic request counts to whole requests (what "
+               "real count data looks like; lets the delta codec engage)");
   if (!cli.parse(argc, argv)) return 1;
 
   trace::SyntheticConfig config;
   config.file_count = static_cast<std::size_t>(cli.integer("files"));
   config.days = static_cast<std::size_t>(cli.integer("days"));
   config.seed = static_cast<std::uint64_t>(cli.integer("seed"));
+  config.integral_counts = cli.boolean("integral-counts");
+  store::WriterOptions options;
+  if (!writer_options_from_cli(cli, "generate", options)) return 1;
 
   if (cli.boolean("groups")) {
-    store::pack_trace(trace::generate_synthetic(config), cli.str("out"));
+    store::pack_trace(trace::generate_synthetic(config), cli.str("out"),
+                      options);
   } else {
     config.grouped_file_fraction = 0.0;
-    store::TraceWriter writer(cli.str("out"), config.days);
+    store::TraceWriter writer(cli.str("out"), config.days, options);
     const auto chunk = static_cast<std::size_t>(cli.integer("chunk"));
     for (std::size_t first = 0; first < config.file_count; first += chunk) {
       const std::size_t count = std::min(chunk, config.file_count - first);
