@@ -110,6 +110,17 @@ void expectation(const std::string& text) {
   std::cout << "expected shape (paper): " << text << "\n";
 }
 
+SweepPool::SweepPool() {
+  const long knob = util::env_int("MINICOST_SWEEP_POOL", 0);
+  if (knob == 1) return;  // serial reference path
+  if (knob > 1) {
+    owned_ = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(knob));
+    pool_ = owned_.get();
+    return;
+  }
+  pool_ = &util::ThreadPool::shared();
+}
+
 RlEval::RlEval(trace::RequestTrace eval_trace, pricing::PricingPolicy pricing,
                std::size_t window)
     : trace_(std::move(eval_trace)), pricing_(std::move(pricing)) {

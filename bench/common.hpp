@@ -26,6 +26,7 @@
 #include "rl/a3c.hpp"
 #include "trace/trace.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace minicost::benchx {
 
@@ -74,6 +75,25 @@ std::filesystem::path write_run_report(
 
 /// Prints the "expected shape" note that accompanies every figure.
 void expectation(const std::string& text);
+
+/// Sweep concurrency knob for the core::SweepRunner figure benches, read
+/// from MINICOST_SWEEP_POOL:
+///   1         → serial (get() == nullptr), the determinism reference
+///   N > 1     → a private N-thread pool owned by this object
+///   0 / unset → the shared process pool (hardware-sized)
+/// Per-point results are pool-size independent by the SweepRunner contract;
+/// the CI sweep smoke pins that by diffing pool sizes 1 and 4.
+class SweepPool {
+ public:
+  SweepPool();
+  util::ThreadPool* get() const noexcept { return pool_; }
+  /// Human-readable size for banners: 1 for serial.
+  std::size_t size() const noexcept { return pool_ ? pool_->size() : 1; }
+
+ private:
+  std::unique_ptr<util::ThreadPool> owned_;
+  util::ThreadPool* pool_ = nullptr;
+};
 
 /// Optimal-action-rate evaluator for the RL-dynamics figures (9/10/11):
 /// "the ratio between the actions made by the RL agent and the actions from

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/sweep_runner.hpp"
 #include "trace/synthetic.hpp"
 #include "util/env.hpp"
 #include "util/stopwatch.hpp"
@@ -41,38 +42,49 @@ int main() {
   const double target_fraction = 0.95;
 
   struct Outcome {
-    double rate;
-    double final_rate;
+    double rate = 0.0;
+    double final_rate = 0.0;
     std::vector<std::pair<std::size_t, double>> curve;  // (steps, action rate)
   };
-  std::vector<Outcome> outcomes;
+
+  // One independent agent per learning rate, farmed across the sweep pool
+  // (MINICOST_SWEEP_POOL; per-point results and CSV are pool-size
+  // independent). Every point trains from the same workload seed so the
+  // learning rate is the only variable.
+  benchx::SweepPool sweep_pool;
+  core::SweepRunner runner(workload.seed, sweep_pool.get());
+  std::cout << "  sweep farm: " << rates.size() << " points on "
+            << sweep_pool.size() << " pool thread(s)\n";
+  const std::vector<Outcome> outcomes = runner.run<Outcome>(
+      rates.size(), [&](core::SweepPointContext& ctx) {
+        const double lr = rates[ctx.index];
+        rl::A3CConfig config;
+        if (rmsprop) config.optimizer = rl::OptimizerKind::kRmsProp;
+        config.learning_rate = lr;
+        config.init_candidates = 1;  // raw training dynamics, no init racing
+        rl::A3CAgent agent(config, workload.seed);
+
+        Outcome outcome;
+        outcome.rate = lr;
+        rl::TrainOptions options;
+        options.episodes = max_episodes;
+        options.report_every = eval_every;
+        options.on_progress = [&](const rl::TrainProgress& progress) {
+          outcome.curve.emplace_back(progress.env_steps,
+                                     eval.action_rate(agent));
+        };
+        util::Stopwatch watch;
+        agent.train(tr, prices, options);
+        outcome.final_rate = outcome.curve.back().second;
+        ctx.log << "  lr=" << util::format_double(lr, 4)
+                << " final action rate="
+                << util::format_double(outcome.final_rate, 3) << " ("
+                << util::format_double(watch.seconds(), 0) << "s)\n";
+        return outcome;
+      });
   double ceiling = 0.0;
-
-  for (double lr : rates) {
-    rl::A3CConfig config;
-    if (rmsprop) config.optimizer = rl::OptimizerKind::kRmsProp;
-    config.learning_rate = lr;
-    config.init_candidates = 1;  // raw training dynamics, no init racing
-    rl::A3CAgent agent(config, workload.seed);
-
-    Outcome outcome;
-    outcome.rate = lr;
-    rl::TrainOptions options;
-    options.episodes = max_episodes;
-    options.report_every = eval_every;
-    options.on_progress = [&](const rl::TrainProgress& progress) {
-      outcome.curve.emplace_back(progress.env_steps, eval.action_rate(agent));
-    };
-    util::Stopwatch watch;
-    agent.train(tr, prices, options);
-    outcome.final_rate = outcome.curve.back().second;
+  for (const Outcome& outcome : outcomes)
     ceiling = std::max(ceiling, outcome.final_rate);
-    std::cout << "  lr=" << util::format_double(lr, 4)
-              << " final action rate="
-              << util::format_double(outcome.final_rate, 3) << " ("
-              << util::format_double(watch.seconds(), 0) << "s)\n";
-    outcomes.push_back(std::move(outcome));
-  }
 
   const double target = target_fraction * ceiling;
   util::Table table({"learning rate", "steps to converge", "final action rate"});

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/sweep_runner.hpp"
 #include "trace/synthetic.hpp"
 #include "util/env.hpp"
 
@@ -29,28 +30,36 @@ int main() {
   const std::size_t points = 10;
 
   struct Curve {
-    double epsilon;
+    double epsilon = 0.0;
     std::vector<std::pair<std::size_t, double>> samples;
   };
-  std::vector<Curve> curves;
-  for (double epsilon : epsilons) {
-    rl::A3CConfig config;
-    config.epsilon = epsilon;
-    config.init_candidates = 1;  // raw training dynamics, no init racing
-    rl::A3CAgent agent(config, workload.seed);
-    Curve curve;
-    curve.epsilon = epsilon;
-    rl::TrainOptions options;
-    options.episodes = max_episodes;
-    options.report_every = max_episodes / points;
-    options.on_progress = [&](const rl::TrainProgress& progress) {
-      curve.samples.emplace_back(progress.env_steps, eval.action_rate(agent));
-    };
-    agent.train(tr, prices, options);
-    std::cout << "  ε=" << epsilon << " final rate="
-              << util::format_double(curve.samples.back().second, 3) << "\n";
-    curves.push_back(std::move(curve));
-  }
+  // One independent agent per ε, farmed across the sweep pool; same seed
+  // per point so ε is the only variable (MINICOST_SWEEP_POOL knob).
+  benchx::SweepPool sweep_pool;
+  core::SweepRunner runner(workload.seed, sweep_pool.get());
+  std::cout << "  sweep farm: " << epsilons.size() << " points on "
+            << sweep_pool.size() << " pool thread(s)\n";
+  const std::vector<Curve> curves = runner.run<Curve>(
+      epsilons.size(), [&](core::SweepPointContext& ctx) {
+        const double epsilon = epsilons[ctx.index];
+        rl::A3CConfig config;
+        config.epsilon = epsilon;
+        config.init_candidates = 1;  // raw training dynamics, no init racing
+        rl::A3CAgent agent(config, workload.seed);
+        Curve curve;
+        curve.epsilon = epsilon;
+        rl::TrainOptions options;
+        options.episodes = max_episodes;
+        options.report_every = max_episodes / points;
+        options.on_progress = [&](const rl::TrainProgress& progress) {
+          curve.samples.emplace_back(progress.env_steps,
+                                     eval.action_rate(agent));
+        };
+        agent.train(tr, prices, options);
+        ctx.log << "  ε=" << epsilon << " final rate="
+                << util::format_double(curve.samples.back().second, 3) << "\n";
+        return curve;
+      });
 
   util::Table table({"steps(ε=0.001)", "rate", "steps(ε=0.01)", "rate ",
                      "steps(ε=0.1)", "rate  "});

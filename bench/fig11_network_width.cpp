@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common.hpp"
+#include "core/sweep_runner.hpp"
 #include "stats/descriptive.hpp"
 #include "trace/synthetic.hpp"
 #include "util/env.hpp"
@@ -32,31 +33,56 @@ int main() {
   std::cout << "(paper repeats 10x; default here is " << runs
             << " runs — raise MINICOST_FIG11_RUNS to match)\n";
 
+  // The width×run grid flattens into one sweep point per (width, run) pair
+  // so every training run farms out independently (MINICOST_SWEEP_POOL).
+  // Seeds reproduce the serial bench exactly: workload.seed + 100*(run+1).
+  struct Point {
+    double rate = 0.0;
+    double seconds = 0.0;
+  };
+  benchx::SweepPool sweep_pool;
+  core::SweepRunner runner(workload.seed, sweep_pool.get());
+  const std::size_t point_count = widths.size() * runs;
+  std::cout << "  sweep farm: " << point_count << " points on "
+            << sweep_pool.size() << " pool thread(s)\n";
+  const std::vector<Point> points = runner.run<Point>(
+      point_count, [&](core::SweepPointContext& ctx) {
+        const std::size_t width = widths[ctx.index / runs];
+        const std::size_t run = ctx.index % runs;
+        rl::A3CConfig config;
+        config.filters = width;
+        config.hidden = width;
+        rl::A3CAgent agent(config, workload.seed + 100 * (run + 1));
+        rl::TrainOptions options;
+        options.episodes = episodes;
+        options.report_every = episodes;
+        util::Stopwatch watch;
+        agent.train(tr, prices, options);
+        Point point;
+        point.rate = eval.action_rate(agent);
+        point.seconds = watch.seconds();
+        ctx.log << "  width=" << width << " run=" << run
+                << " rate=" << util::format_double(point.rate, 3) << "\n";
+        return point;
+      });
+
   util::Table table({"neurons+filters", "mean action rate", "min", "max",
                      "spread", "train s/run"});
-  for (std::size_t width : widths) {
+  for (std::size_t w = 0; w < widths.size(); ++w) {
     stats::RunningStats rates;
-    util::Stopwatch watch;
+    double seconds = 0.0;
     for (std::size_t run = 0; run < runs; ++run) {
-      rl::A3CConfig config;
-      config.filters = width;
-      config.hidden = width;
-      rl::A3CAgent agent(config, workload.seed + 100 * (run + 1));
-      rl::TrainOptions options;
-      options.episodes = episodes;
-      options.report_every = episodes;
-      agent.train(tr, prices, options);
-      rates.add(eval.action_rate(agent));
+      rates.add(points[w * runs + run].rate);
+      seconds += points[w * runs + run].seconds;
     }
-    table.add_row({util::format_count(width),
+    table.add_row({util::format_count(widths[w]),
                    util::format_double(rates.mean(), 3),
                    util::format_double(rates.min(), 3),
                    util::format_double(rates.max(), 3),
                    util::format_double(rates.max() - rates.min(), 3),
-                   util::format_double(watch.seconds() /
-                                           static_cast<double>(runs),
+                   util::format_double(seconds / static_cast<double>(runs),
                                        1)});
-    std::cout << "  width=" << width
+    std::cout << "  width=" << widths[w]
               << " mean=" << util::format_double(rates.mean(), 3) << "\n";
   }
   benchx::emit("fig11", "Figure 11: action rate vs number of neurons/filters",

@@ -12,6 +12,7 @@
 #include "nn/ops.hpp"
 #include "nn/serialize.hpp"
 #include "obs/metrics.hpp"
+#include "rl/stream.hpp"
 #include "stats/descriptive.hpp"
 #include "util/thread_pool.hpp"
 
@@ -44,22 +45,43 @@ std::unique_ptr<nn::Optimizer> make_optimizer(const A3CConfig& config) {
   return std::make_unique<nn::Sgd>(config.learning_rate, config.momentum);
 }
 
-std::uint64_t steady_now_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
 }  // namespace
+
+/// Per-worker training state. The local nets' initial parameters never
+/// matter (the first sync overwrites them), so they are built from a
+/// throwaway fork of the init stream. In Hogwild mode each worker owns its
+/// optimizer state and a delta scratch: the optimizers step a zero vector,
+/// which yields the exact parameter delta because SGD/RMSProp/Adam update
+/// rules never read the parameter values they advance.
+struct A3CAgent::WorkerCtx {
+  TieringEnv env;
+  nn::Network actor, critic;
+  std::vector<double> actor_stage, critic_stage;
+  std::unique_ptr<nn::Optimizer> actor_opt, critic_opt;  // Hogwild only
+  std::vector<double> actor_delta, critic_delta;         // Hogwild only
+
+  WorkerCtx(A3CAgent& agent, const trace::RequestTrace& trace,
+            const pricing::PricingPolicy& policy)
+      : env(trace, policy, agent.featurizer_, agent.config_.reward) {
+    util::Rng scratch = agent.seed_rng_.fork(kInitStream);
+    actor = make_actor(agent.config_, agent.featurizer_, scratch);
+    critic = make_critic(agent.config_, agent.featurizer_, scratch);
+    actor_stage.resize(agent.server_->actor_size());
+    critic_stage.resize(agent.server_->critic_size());
+    if (agent.config_.lock_free_apply) {
+      actor_opt = make_optimizer(agent.config_);
+      critic_opt = make_optimizer(agent.config_);
+      actor_delta.resize(agent.server_->actor_size());
+      critic_delta.resize(agent.server_->critic_size());
+    }
+  }
+};
 
 A3CAgent::A3CAgent(A3CConfig config, std::uint64_t seed)
     : config_(config),
       featurizer_(config.features),
       actor_(),
       critic_(),
-      actor_opt_(make_optimizer(config)),
-      critic_opt_(make_optimizer(config)),
       seed_rng_(seed) {
   if (config.workers == 0)
     throw std::invalid_argument("A3CAgent: need at least one worker");
@@ -67,41 +89,55 @@ A3CAgent::A3CAgent(A3CConfig config, std::uint64_t seed)
     throw std::invalid_argument("A3CAgent: episode_len must be > 0");
   if (config.gamma < 0.0 || config.gamma > 1.0)
     throw std::invalid_argument("A3CAgent: gamma outside [0, 1]");
-  util::Rng init_rng = seed_rng_.fork(0);
+  if (config.param_shards == 0 || config.param_shards > 64)
+    throw std::invalid_argument("A3CAgent: param_shards outside [1, 64]");
+  util::Rng init_rng = seed_rng_.fork(kInitStream);
   actor_ = make_actor(config_, featurizer_, init_rng);
   critic_ = make_critic(config_, featurizer_, init_rng);
+  const A3CConfig& cfg = config_;
+  server_ = std::make_unique<ParamServer>(
+      config_.param_shards, [cfg]() { return make_optimizer(cfg); });
   util::MutexLock lock(param_mutex_);
-  reset_shared_from_networks_locked();
+  server_->assign(actor_.snapshot_parameters(), critic_.snapshot_parameters());
+  net_sync_version_ = server_->version();
 }
 
 void A3CAgent::refresh_networks_locked() {
-  if (net_sync_version_ == param_version_) return;
-  actor_.load_parameters(actor_flat_);
-  critic_.load_parameters(critic_flat_);
-  net_sync_version_ = param_version_;
+  // Sample the version before the snapshot: a concurrent apply can land in
+  // between, in which case we record content at least as new as claimed and
+  // simply refresh again on the next read.
+  const std::uint64_t version = server_->version();
+  if (net_sync_version_ == version) return;
+  std::vector<double> actor_flat, critic_flat;
+  server_->snapshot_into(actor_flat, critic_flat);
+  actor_.load_parameters(actor_flat);
+  critic_.load_parameters(critic_flat);
+  net_sync_version_ = version;
 }
 
-void A3CAgent::reset_shared_from_networks_locked() {
-  actor_flat_ = actor_.snapshot_parameters();
-  critic_flat_ = critic_.snapshot_parameters();
-  net_sync_version_ = param_version_;
-}
-
-A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
-                                               nn::Network& actor,
-                                               nn::Network& critic,
+A3CAgent::EpisodeOutcome A3CAgent::run_episode(WorkerCtx& ctx,
                                                trace::FileId file,
                                                std::size_t start_day,
                                                std::size_t end_day,
-                                               util::Rng& rng) {
-  // Sync local nets from the shared parameters. The flats are the
-  // authoritative state, so the critical section is two straight copies —
-  // no snapshot_parameters() round-trip allocating under the lock.
-  {
-    util::MutexLock lock(param_mutex_);
-    actor.load_parameters(actor_flat_);
-    critic.load_parameters(critic_flat_);
+                                               util::Rng& rng,
+                                               std::size_t round_episode,
+                                               std::size_t ordinal) {
+  TieringEnv& env = ctx.env;
+  nn::Network& actor = ctx.actor;
+  nn::Network& critic = ctx.critic;
+  // Sync local nets from the parameter server. The wavefront sync admits
+  // this episode in ordinal order, so the staged parameters are a pure
+  // function of the ordinal; Hogwild reads whatever the racing applies have
+  // produced so far (relaxed atomics, non-deterministic by design). The
+  // per-shard copies run under shard locks; the network load happens
+  // outside every lock.
+  if (config_.lock_free_apply) {
+    server_->sync_relaxed(ctx.actor_stage, ctx.critic_stage);
+  } else {
+    server_->sync(round_episode, ctx.actor_stage, ctx.critic_stage);
   }
+  actor.load_parameters(ctx.actor_stage);
+  critic.load_parameters(ctx.critic_stage);
   actor.zero_gradients();
   critic.zero_gradients();
 
@@ -225,13 +261,14 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
     advantage_mean /= static_cast<double>(n);
 
     // Entropy weight with linear warmup (see A3CConfig), measured from the
-    // current initialization's start.
+    // current initialization's start. The clock is the episode's lifetime
+    // ordinal, not the racy episodes_ counter: at any worker count the
+    // warmup schedule is then a pure function of the ordinal, which the
+    // cross-worker/cross-shard bit-identity contract requires.
     const std::size_t warmup_start =
         warmup_start_.load(std::memory_order_relaxed);
-    const std::size_t episodes_total =
-        episodes_.load(std::memory_order_relaxed);
     const std::size_t episodes_done =
-        episodes_total > warmup_start ? episodes_total - warmup_start : 0;
+        ordinal > warmup_start ? ordinal - warmup_start : 0;
     double beta = config_.entropy_beta;
     if (config_.entropy_warmup_episodes > 0 &&
         episodes_done < config_.entropy_warmup_episodes &&
@@ -295,21 +332,21 @@ A3CAgent::EpisodeOutcome A3CAgent::run_episode(TieringEnv& env,
 
   {
     MC_OBS_SCOPE("rl.a3c.opt_step");
-    // The lock-wait counter separates contention from optimizer math in run
-    // reports; the clock reads are skipped entirely when obs is disabled.
-    std::uint64_t wait_start = 0;
-    const bool timing = obs::enabled();
-    if (timing) wait_start = steady_now_ns();
-    util::MutexLock lock(param_mutex_);
-    if (timing)
-      MC_OBS_COUNT("rl.a3c.opt_step.lock_wait_ns",
-                   steady_now_ns() - wait_start);
-    // The flats are authoritative, so the critical section is two in-place
-    // SIMD optimizer steps — no snapshot/load round-trip copies of the
-    // shared networks.
-    actor_opt_->step(actor_flat_, actor_grads);
-    critic_opt_->step(critic_flat_, critic_grads);
-    ++param_version_;
+    if (config_.lock_free_apply) {
+      // Hogwild: turn the gradient into an exact update delta by stepping a
+      // zero vector with the worker-local optimizer state, then accumulate
+      // it into the shared parameters lock-free.
+      std::fill(ctx.actor_delta.begin(), ctx.actor_delta.end(), 0.0);
+      std::fill(ctx.critic_delta.begin(), ctx.critic_delta.end(), 0.0);
+      ctx.actor_opt->step(ctx.actor_delta, actor_grads);
+      ctx.critic_opt->step(ctx.critic_delta, critic_grads);
+      server_->apply_relaxed(ctx.actor_delta, ctx.critic_delta);
+    } else {
+      // Wavefront apply: per-shard in-place SIMD optimizer steps, admitted
+      // in episode order (admission wait lands in the
+      // rl.a3c.opt_step[.shardN].lock_wait_ns counters).
+      server_->apply(round_episode, actor_grads, critic_grads);
+    }
   }
   return outcome;
 }
@@ -363,9 +400,7 @@ void A3CAgent::train(const trace::RequestTrace& trace,
     }
   }
 
-  const std::uint64_t epoch = worker_epoch_++;
   std::size_t remaining = options.episodes;
-  std::size_t round = 0;
 
   // Init racing (see A3CConfig::init_candidates): probe several fresh
   // initializations, keep the best performer's parameters.
@@ -377,39 +412,32 @@ void A3CAgent::train(const trace::RequestTrace& trace,
     for (std::size_t candidate = 0; candidate < config_.init_candidates;
          ++candidate) {
       if (candidate > 0) {
-        util::Rng init = seed_rng_.fork(0xBEEF00 + candidate);
+        util::Rng init = seed_rng_.fork(kRacingStreamBase + candidate);
         util::MutexLock lock(param_mutex_);
         actor_ = make_actor(config_, featurizer_, init);
         critic_ = make_critic(config_, featurizer_, init);
-        actor_opt_ = make_optimizer(config_);
-        critic_opt_ = make_optimizer(config_);
-        reset_shared_from_networks_locked();
+        server_->assign(actor_.snapshot_parameters(),
+                        critic_.snapshot_parameters());
+        net_sync_version_ = server_->version();
       }
       warmup_start_.store(episodes_.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
-      run_batch(trace, policy, weights, probe / 2, epoch, round++);
+      run_batch(trace, policy, weights, probe / 2);
       const EpisodeOutcome second_half =
-          run_batch(trace, policy, weights, probe - probe / 2, epoch, round++);
+          run_batch(trace, policy, weights, probe - probe / 2);
       const double mean_reward =
           second_half.steps > 0
               ? second_half.reward_sum / static_cast<double>(second_half.steps)
               : 0.0;
       if (mean_reward > best_reward) {
         best_reward = mean_reward;
-        util::MutexLock lock(param_mutex_);
-        best_actor = actor_flat_;
-        best_critic = critic_flat_;
+        server_->snapshot_into(best_actor, best_critic);
       }
       remaining -= probe;
     }
-    {
-      util::MutexLock lock(param_mutex_);
-      actor_flat_ = best_actor;
-      critic_flat_ = best_critic;
-      ++param_version_;  // actor_/critic_ refresh lazily on the next read
-      actor_opt_ = make_optimizer(config_);
-      critic_opt_ = make_optimizer(config_);
-    }
+    // The winner restarts with fresh optimizer state (assign() resets the
+    // per-shard slices); actor_/critic_ refresh lazily on the next read.
+    server_->assign(std::move(best_actor), std::move(best_critic));
     // The winner continues mid-schedule: give it the post-warmup floor.
     warmup_start_.store(
         episodes_.load(std::memory_order_relaxed) >=
@@ -432,8 +460,7 @@ void A3CAgent::train(const trace::RequestTrace& trace,
     const std::size_t batch =
         std::min(remaining, std::max<std::size_t>(1, options.report_every));
     remaining -= batch;
-    const EpisodeOutcome outcome =
-        run_batch(trace, policy, weights, batch, epoch, round++);
+    const EpisodeOutcome outcome = run_batch(trace, policy, weights, batch);
     if (options.on_progress) {
       TrainProgress progress;
       progress.episodes_done = episodes_.load(std::memory_order_relaxed);
@@ -458,22 +485,28 @@ void A3CAgent::train(const trace::RequestTrace& trace,
 
 A3CAgent::EpisodeOutcome A3CAgent::run_batch(
     const trace::RequestTrace& trace, const pricing::PricingPolicy& policy,
-    const std::vector<double>& weights, std::size_t batch, std::uint64_t epoch,
-    std::size_t round) {
+    const std::vector<double>& weights, std::size_t batch) {
   const std::size_t h = featurizer_.history_len();
   const std::size_t max_start = trace.days() - 1;  // at least one step
+  if (batch == 0) return {};
 
-  std::atomic<std::int64_t> todo{static_cast<std::int64_t>(batch)};
-  util::Mutex stats_mutex;
-  EpisodeOutcome total;
+  // Lifetime ordinal of this round's first episode: workers are quiesced
+  // between rounds, so episodes_ is exact here. Every per-episode random
+  // choice (file, window, tier, exploration) derives from the ordinal's
+  // stream (rl/stream.hpp) — never from which worker ran it.
+  const std::size_t base = episodes_.load(std::memory_order_relaxed);
+  server_->begin_round(batch, config_.workers, config_.lock_free_apply);
 
-  auto worker_fn = [&](std::size_t worker_id) {
-    util::Rng rng = seed_rng_.fork(1 + epoch * 1013 + round * 131 + worker_id);
-    TieringEnv env(trace, policy, featurizer_, config_.reward);
-    nn::Network actor = make_actor(config_, featurizer_, rng);
-    nn::Network critic = make_critic(config_, featurizer_, rng);
-    EpisodeOutcome local;
-    while (todo.fetch_sub(1, std::memory_order_relaxed) > 0) {
+  std::atomic<std::size_t> next{0};
+  // Outcomes land by ordinal and reduce in ordinal order after the join:
+  // the FP sums are then independent of which worker ran which episode.
+  std::vector<EpisodeOutcome> outcomes(batch);
+
+  auto worker_fn = [&]() {
+    WorkerCtx ctx(*this, trace, policy);
+    std::size_t e = 0;
+    while ((e = next.fetch_add(1, std::memory_order_relaxed)) < batch) {
+      util::Rng rng = seed_rng_.fork(episode_stream(base + e));
       const auto file = static_cast<trace::FileId>(rng.weighted_index(weights));
       const std::size_t span = max_start - h;
       const std::size_t start =
@@ -481,28 +514,31 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
                               0, static_cast<std::int64_t>(span) - 1))
                         : 0);
       const std::size_t end = std::min(start + config_.episode_len, trace.days());
-      const EpisodeOutcome outcome =
-          run_episode(env, actor, critic, file, start, end, rng);
-      local.reward_sum += outcome.reward_sum;
-      local.cost_sum += outcome.cost_sum;
-      local.steps += outcome.steps;
+      outcomes[e] = run_episode(ctx, file, start, end, rng, e, base + e);
       episodes_.fetch_add(1, std::memory_order_relaxed);
-      env_steps_.fetch_add(outcome.steps, std::memory_order_relaxed);
+      env_steps_.fetch_add(outcomes[e].steps, std::memory_order_relaxed);
     }
-    util::MutexLock lock(stats_mutex);
-    total.reward_sum += local.reward_sum;
-    total.cost_sum += local.cost_sum;
-    total.steps += local.steps;
   };
 
-  if (config_.workers == 1) {
-    worker_fn(0);
+  // Spawn at most one thread per episode; the wavefront window stays
+  // config_.workers regardless, so the schedule (and therefore the result)
+  // does not depend on how many threads actually run.
+  const std::size_t spawn = std::min(config_.workers, batch);
+  if (spawn <= 1) {
+    worker_fn();
   } else {
     std::vector<std::thread> threads;
-    threads.reserve(config_.workers);
-    for (std::size_t w = 0; w < config_.workers; ++w)
-      threads.emplace_back(worker_fn, w);
+    threads.reserve(spawn);
+    for (std::size_t w = 0; w < spawn; ++w) threads.emplace_back(worker_fn);
     for (auto& t : threads) t.join();
+  }
+  server_->end_round();
+
+  EpisodeOutcome total;
+  for (const EpisodeOutcome& outcome : outcomes) {
+    total.reward_sum += outcome.reward_sum;
+    total.cost_sum += outcome.cost_sum;
+    total.steps += outcome.steps;
   }
   return total;
 }
@@ -510,7 +546,8 @@ A3CAgent::EpisodeOutcome A3CAgent::run_batch(
 Action A3CAgent::act(std::span<const double> features, bool greedy) {
   const std::vector<double> pi = policy_probabilities(features);
   if (greedy) return nn::argmax(pi);
-  util::Rng rng = seed_rng_.fork(0xAC7 + env_steps_.load(std::memory_order_relaxed));
+  util::Rng rng =
+      seed_rng_.fork(kActStreamBase + env_steps_.load(std::memory_order_relaxed));
   if (rng.bernoulli(config_.epsilon))
     return static_cast<Action>(rng.uniform_int(0, kActionCount - 1));
   return rng.weighted_index(pi);
@@ -541,7 +578,8 @@ std::vector<Action> A3CAgent::act_batch(
     refresh_networks_locked();
     actor = actor_;
   }
-  const std::uint64_t act_stream = 0xAC7 + env_steps_.load(std::memory_order_relaxed);
+  const std::uint64_t act_stream =
+      kActStreamBase + env_steps_.load(std::memory_order_relaxed);
 
   // Chunk size bounds the widest intermediate buffer (chunk × conv width)
   // and is the unit of work sharded across the pool. Fixed, so decisions
@@ -611,12 +649,14 @@ double A3CAgent::value(std::span<const double> features) {
 
 void A3CAgent::save(const std::filesystem::path& path) const {
   util::MutexLock lock(param_mutex_);
-  // const method: materialize the flats into copies instead of refreshing
-  // the (possibly stale) member networks in place.
+  // const method: materialize the server state into copies instead of
+  // refreshing the (possibly stale) member networks in place.
   nn::Network actor = actor_;
   nn::Network critic = critic_;
-  actor.load_parameters(actor_flat_);
-  critic.load_parameters(critic_flat_);
+  std::vector<double> actor_flat, critic_flat;
+  server_->snapshot_into(actor_flat, critic_flat);
+  actor.load_parameters(actor_flat);
+  critic.load_parameters(critic_flat);
   std::ofstream out(path);
   if (!out) throw std::runtime_error("A3CAgent::save: cannot open " + path.string());
   nn::save_network(actor, out);
@@ -634,7 +674,8 @@ void A3CAgent::load(const std::filesystem::path& path) {
     throw std::runtime_error("A3CAgent::load: architecture mismatch");
   actor_ = std::move(actor);
   critic_ = std::move(critic);
-  reset_shared_from_networks_locked();
+  server_->assign(actor_.snapshot_parameters(), critic_.snapshot_parameters());
+  net_sync_version_ = server_->version();
 }
 
 std::size_t A3CAgent::parameter_count() const {

@@ -21,6 +21,7 @@
 #include "rl/env.hpp"
 #include "rl/feature.hpp"
 #include "rl/mdp.hpp"
+#include "rl/param_server.hpp"
 #include "trace/trace.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
@@ -93,6 +94,22 @@ struct A3CConfig {
   // Episodes.
   std::size_t episode_len = 14;  ///< days per training episode
   std::size_t workers = 2;       ///< asynchronous workers (threads)
+  /// Parameter-server lock sharding (DESIGN.md §14): the shared flat
+  /// parameter buffers are split into `param_shards` contiguous shards,
+  /// each with its own lock and optimizer slice, so concurrent workers
+  /// pipeline their sync/apply phases across shards instead of serializing
+  /// on one critical section. Results are bit-identical for every shard
+  /// count at a fixed worker count (the deterministic wavefront schedule
+  /// depends only on episode ordinals); 1 — the default — keeps the
+  /// single-lock layout. Range [1, 64].
+  std::size_t param_shards = 1;
+  /// Opt-in Hogwild-style lock-free apply (Recht et al. 2011): workers
+  /// read and accumulate into the shared parameters through relaxed
+  /// atomics with worker-local optimizer state (state is round-local, so
+  /// momentum restarts each reporting window). No locks on the training
+  /// hot path — and NO determinism: results vary run to run with thread
+  /// timing. The default locked path remains the deterministic reference.
+  bool lock_free_apply = false;
   /// Run the per-episode update phase through the batched kernels: one
   /// forward_batch/backward_batch over the episode's T stored states per
   /// network plus fused loss-gradient rows, instead of 2T scalar passes.
@@ -185,63 +202,60 @@ class A3CAgent {
     double cost_sum = 0.0;
   };
 
-  /// Runs one episode on worker-local nets and applies gradients to the
-  /// shared parameters.
-  EpisodeOutcome run_episode(TieringEnv& env, nn::Network& actor,
-                             nn::Network& critic, trace::FileId file,
+  /// Per-worker training state (local nets, env, staging/delta buffers,
+  /// Hogwild optimizer state); defined in a3c.cpp.
+  struct WorkerCtx;
+
+  /// Runs one episode on the worker's local nets and routes the gradient
+  /// through the parameter server. `round_episode` is the ordinal within
+  /// the current run_batch round (the wavefront schedule key); `ordinal` is
+  /// the lifetime episode ordinal (the entropy-warmup clock).
+  EpisodeOutcome run_episode(WorkerCtx& ctx, trace::FileId file,
                              std::size_t start_day, std::size_t end_day,
-                             util::Rng& rng);
+                             util::Rng& rng, std::size_t round_episode,
+                             std::size_t ordinal);
 
   /// Runs `batch` training episodes across the configured workers; returns
-  /// the aggregate outcome. `epoch`/`round` derive worker RNG streams.
+  /// the aggregate outcome. Each episode's RNG stream derives from its
+  /// lifetime ordinal (rl/stream.hpp), so the result is a pure function of
+  /// the agent seed and episode count — not of worker or shard counts.
   EpisodeOutcome run_batch(const trace::RequestTrace& trace,
                            const pricing::PricingPolicy& policy,
                            const std::vector<double>& weights,
-                           std::size_t batch, std::uint64_t epoch,
-                           std::size_t round);
+                           std::size_t batch);
 
-  /// Lazily re-materializes actor_/critic_ from the authoritative flat
-  /// parameter buffers if optimizer steps landed since the last refresh.
-  /// Must precede any read of the networks (act/value/save paths).
+  /// Lazily re-materializes actor_/critic_ from the parameter server if
+  /// optimizer steps landed since the last refresh. Must precede any read
+  /// of the networks (act/value/save paths).
   void refresh_networks_locked() MC_REQUIRES(param_mutex_);
-
-  /// Re-snapshots the flat buffers from actor_/critic_ after the networks
-  /// were assigned directly (construction, init racing, load()).
-  void reset_shared_from_networks_locked() MC_REQUIRES(param_mutex_);
 
   A3CConfig config_;
   Featurizer featurizer_;
 
-  // Shared parameter server (DESIGN.md §8): the authoritative learned state
-  // is the flat buffers actor_flat_/critic_flat_, guarded by param_mutex_.
-  // Workers synchronize local nets from the flats and the optimizers step
-  // them in place — no per-episode snapshot/load round-trip of the shared
-  // networks. actor_/critic_ are lazily-synced materializations for the
-  // act/value/serialization paths; param_version_ > net_sync_version_
-  // means they are stale (see refresh_networks_locked).
+  // The authoritative learned state lives in the sharded parameter server
+  // (rl/param_server.hpp, DESIGN.md §14); workers sync local nets from it
+  // and apply gradients through it. actor_/critic_ are lazily-synced
+  // materializations for the act/value/serialization paths, guarded by
+  // param_mutex_; server_->version() > net_sync_version_ means they are
+  // stale (see refresh_networks_locked).
   mutable util::Mutex param_mutex_;
   nn::Network actor_ MC_GUARDED_BY(param_mutex_);
   nn::Network critic_ MC_GUARDED_BY(param_mutex_);
-  std::vector<double> actor_flat_ MC_GUARDED_BY(param_mutex_);
-  std::vector<double> critic_flat_ MC_GUARDED_BY(param_mutex_);
-  std::uint64_t param_version_ MC_GUARDED_BY(param_mutex_) = 0;
   std::uint64_t net_sync_version_ MC_GUARDED_BY(param_mutex_) = 0;
-  std::unique_ptr<nn::Optimizer> actor_opt_ MC_GUARDED_BY(param_mutex_);
-  std::unique_ptr<nn::Optimizer> critic_opt_ MC_GUARDED_BY(param_mutex_);
+  std::unique_ptr<ParamServer> server_;
 
   // Progress counters. All accesses use std::memory_order_relaxed: they are
   // monotone statistics (episode/step totals, warmup baseline) that gate
   // only scalar schedules (entropy warmup) and reporting — no other memory
   // is published through them, so no acquire/release pairing is needed.
   // Cross-thread publication of learned state goes exclusively through
-  // param_mutex_.
+  // the parameter server.
   std::atomic<std::size_t> episodes_{0};
   /// Episode count at the current initialization's start (racing resets
   /// it so every candidate sees the full entropy-warmup schedule).
   std::atomic<std::size_t> warmup_start_{0};
   std::atomic<std::size_t> env_steps_{0};
   util::Rng seed_rng_;
-  std::uint64_t worker_epoch_ = 0;  ///< distinct RNG streams across train() calls
 };
 
 }  // namespace minicost::rl
