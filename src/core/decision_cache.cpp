@@ -1,0 +1,218 @@
+#include "core/decision_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace minicost::core {
+namespace {
+
+constexpr std::size_t kDefaultShards = 16;
+
+std::size_t round_up_pow2(std::size_t value) {
+  if (value <= 1) return 1;
+  return std::size_t{1} << std::bit_width(value - 1);
+}
+
+// splitmix64 finalizer — full-avalanche mix for the running hash state.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_doubles(std::uint64_t seed,
+                           std::span<const double> values) noexcept {
+  std::uint64_t state = seed;
+  for (const double value : values) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    state = mix64(state ^ bits);
+  }
+  return state;
+}
+
+bool doubles_equal_bytes(std::span<const double> a,
+                         std::span<const double> b) noexcept {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+std::size_t entry_bytes(std::size_t key_width) noexcept {
+  // Approximate resident footprint: packed key payload + node bookkeeping
+  // (list node links, map node, Entry header). Reported for observability,
+  // not used for admission decisions.
+  return key_width * sizeof(double) + 96;
+}
+
+}  // namespace
+
+void DecisionKey::pack_into(std::span<double> out) const noexcept {
+  const std::size_t h = reads.size();
+  if (h != 0) std::memcpy(out.data(), reads.data(), h * sizeof(double));
+  out[h] = write_rate;
+  out[h + 1] = size_gb;
+  out[h + 2] = tier;
+  out[h + 3] = day_phase;
+}
+
+bool DecisionKey::equals(const DecisionKey& other) const noexcept {
+  const std::array<double, 4> a{write_rate, size_gb, tier, day_phase};
+  const std::array<double, 4> b{other.write_rate, other.size_gb, other.tier,
+                                other.day_phase};
+  return doubles_equal_bytes(reads, other.reads) &&
+         doubles_equal_bytes(std::span<const double>(a),
+                             std::span<const double>(b));
+}
+
+bool DecisionKey::equals_packed(std::span<const double> packed) const noexcept {
+  const std::size_t h = reads.size();
+  if (packed.size() != h + 4) return false;
+  if (!doubles_equal_bytes(reads, packed.first(h))) return false;
+  const std::array<double, 4> tail{write_rate, size_gb, tier, day_phase};
+  return doubles_equal_bytes(std::span<const double>(tail),
+                             packed.subspan(h));
+}
+
+std::uint64_t DecisionKey::hash(std::uint64_t epoch) const noexcept {
+  std::uint64_t state = mix64(epoch ^ 0x6d696e69636f7374ULL);  // "minicost"
+  state = hash_doubles(state, reads);
+  const std::array<double, 4> tail{write_rate, size_gb, tier, day_phase};
+  return hash_doubles(state, std::span<const double>(tail));
+}
+
+DecisionCache::DecisionCache(const DecisionCacheConfig& config) {
+  const std::size_t shard_count =
+      round_up_pow2(config.shards == 0 ? kDefaultShards : config.shards);
+  capacity_ = config.capacity == 0 ? 1 : config.capacity;
+  per_shard_capacity_ =
+      (capacity_ + shard_count - 1) / shard_count;
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shard_mask_ = shard_count - 1;
+  shards_ = std::vector<Shard>(shard_count);
+  if (obs::enabled()) {
+    obs_hit_ = &obs::counter("core.cache.hit");
+    obs_miss_ = &obs::counter("core.cache.miss");
+    obs_insert_ = &obs::counter("core.cache.insert");
+    obs_evict_ = &obs::counter("core.cache.evict");
+    obs_bytes_ = &obs::counter("core.cache.bytes");
+  }
+}
+
+std::optional<std::uint8_t> DecisionCache::lookup(std::uint64_t epoch,
+                                                  const DecisionKey& key) {
+  const std::uint64_t hash = key.hash(epoch);
+  Shard& shard = shard_for(hash);
+  {
+    util::MutexLock lock(shard.mutex);
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+      Entry& entry = *it->second;
+      if (entry.epoch == epoch && key.equals_packed(entry.key)) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs_hit_ != nullptr) obs_hit_->increment();
+        return entry.action;
+      }
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_miss_ != nullptr) obs_miss_->increment();
+  return std::nullopt;
+}
+
+void DecisionCache::insert(std::uint64_t epoch, const DecisionKey& key,
+                           std::uint8_t action) {
+  const std::uint64_t hash = key.hash(epoch);
+  const std::size_t bytes = entry_bytes(key.packed_width());
+  Shard& shard = shard_for(hash);
+  std::uint64_t evicted = 0;
+  std::uint64_t evicted_bytes = 0;
+  {
+    util::MutexLock lock(shard.mutex);
+    const auto it = shard.index.find(hash);
+    if (it != shard.index.end()) {
+      // Same hash already resident: refresh in place. Either the same key
+      // under a new epoch/action, or a (vanishingly rare) 64-bit collision —
+      // both replace, keeping exactly one entry per hash.
+      Entry& entry = *it->second;
+      entry.epoch = epoch;
+      entry.action = action;
+      if (entry.key.size() != key.packed_width()) {
+        entry.key.resize(key.packed_width());
+      }
+      key.pack_into(entry.key);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    while (shard.lru.size() >= per_shard_capacity_) {
+      const Entry& victim = shard.lru.back();
+      evicted_bytes += entry_bytes(victim.key.size());
+      shard.index.erase(victim.hash);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+    Entry entry;
+    entry.hash = hash;
+    entry.epoch = epoch;
+    entry.action = action;
+    entry.key.resize(key.packed_width());
+    key.pack_into(entry.key);
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(hash, shard.lru.begin());
+  }
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs_insert_ != nullptr) obs_insert_->increment();
+  if (obs_bytes_ != nullptr) obs_bytes_->add(bytes);
+  if (evicted != 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    entries_.fetch_sub(evicted, std::memory_order_relaxed);
+    resident_bytes_.fetch_sub(evicted_bytes, std::memory_order_relaxed);
+    if (obs_evict_ != nullptr) obs_evict_->add(evicted);
+  }
+}
+
+void DecisionCache::note_dedup(std::uint64_t rows,
+                               std::uint64_t unique_rows) noexcept {
+  dedup_rows_.fetch_add(rows, std::memory_order_relaxed);
+  dedup_unique_rows_.fetch_add(unique_rows, std::memory_order_relaxed);
+  MC_OBS_COUNT("core.cache.dedup.rows", rows);
+  MC_OBS_COUNT("core.cache.dedup.unique", unique_rows);
+}
+
+void DecisionCache::clear() {
+  std::uint64_t dropped = 0;
+  std::uint64_t dropped_bytes = 0;
+  for (Shard& shard : shards_) {
+    util::MutexLock lock(shard.mutex);
+    for (const Entry& entry : shard.lru) {
+      dropped_bytes += entry_bytes(entry.key.size());
+    }
+    dropped += shard.lru.size();
+    shard.index.clear();
+    shard.lru.clear();
+  }
+  entries_.fetch_sub(dropped, std::memory_order_relaxed);
+  resident_bytes_.fetch_sub(dropped_bytes, std::memory_order_relaxed);
+}
+
+DecisionCacheStats DecisionCache::stats() const noexcept {
+  DecisionCacheStats out;
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.dedup_rows = dedup_rows_.load(std::memory_order_relaxed);
+  out.dedup_unique_rows = dedup_unique_rows_.load(std::memory_order_relaxed);
+  out.entries = entries_.load(std::memory_order_relaxed);
+  out.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace minicost::core

@@ -28,6 +28,8 @@ class ThreadPool;
 
 namespace minicost::core {
 
+class DecisionCache;
+
 enum class Knowledge {
   kNone,       ///< ignores the trace entirely (Hot / Cold)
   kHistory,    ///< online: only days < t when deciding day t (MiniCost)
@@ -45,6 +47,9 @@ struct PlanContext {
   /// Pool for batch planning; nullptr = util::ThreadPool::shared(). Results
   /// never depend on the pool's size (per-index work is independent).
   util::ThreadPool* pool = nullptr;
+  /// Optional decision-reuse cache (DESIGN.md §15). nullptr = disabled;
+  /// cache-aware policies must stay byte-identical either way.
+  DecisionCache* decision_cache = nullptr;
 };
 
 /// The pool batch planning runs on: context.pool, or the shared pool.

@@ -175,6 +175,26 @@ class A3CAgent {
                                 bool greedy = true,
                                 util::ThreadPool* pool = nullptr);
 
+  /// act_batch over pre-encoded feature rows: `rows` holds `count` rows of
+  /// featurizer().feature_count() doubles each, densely packed; actions[i]
+  /// decides row i. This is the dedup-friendly entry point (DESIGN.md §15):
+  /// callers that collapse duplicate states forward only the unique rows
+  /// here and scatter the results. Bit-identical to act_batch on the files
+  /// that would encode to these rows, for any pool size. Thread-safe.
+  std::vector<Action> act_features_batch(std::span<const double> rows,
+                                         std::size_t count, bool greedy = true,
+                                         util::ThreadPool* pool = nullptr);
+
+  /// Fingerprint of everything the act paths' decision depends on besides
+  /// the state itself: the learned parameters (hashed content, memoized by
+  /// the parameter-server version), the featurizer configuration, and the
+  /// decision mode (greedy vs ε-sampling, including the current action
+  /// stream ordinal). Two calls return the same value iff identical
+  /// features are guaranteed identical actions — the DecisionCache epoch
+  /// (DESIGN.md §15). Training, load(), or mode changes change it.
+  /// Thread-safe.
+  std::uint64_t decision_fingerprint(bool greedy = true);
+
   /// The actor's π(s, ·). Thread-safe.
   std::vector<double> policy_probabilities(std::span<const double> features);
 
@@ -242,6 +262,11 @@ class A3CAgent {
   nn::Network actor_ MC_GUARDED_BY(param_mutex_);
   nn::Network critic_ MC_GUARDED_BY(param_mutex_);
   std::uint64_t net_sync_version_ MC_GUARDED_BY(param_mutex_) = 0;
+  // Memoized content hash of the actor parameters for decision_fingerprint:
+  // recomputed only when the server version moves.
+  std::uint64_t param_hash_ MC_GUARDED_BY(param_mutex_) = 0;
+  std::uint64_t param_hash_version_ MC_GUARDED_BY(param_mutex_) = 0;
+  bool param_hash_valid_ MC_GUARDED_BY(param_mutex_) = false;
   std::unique_ptr<ParamServer> server_;
 
   // Progress counters. All accesses use std::memory_order_relaxed: they are

@@ -1,0 +1,213 @@
+#include "core/decision_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "pricing/tier.hpp"
+
+namespace minicost::core {
+namespace {
+
+/// A key over an owned window; action derived from the window so every
+/// lookup can verify it got the value this exact key was inserted with.
+struct OwnedKey {
+  std::vector<double> reads;
+  double write_rate;
+  double size_gb;
+  double tier;
+  double day_phase;
+
+  DecisionKey view() const {
+    return {reads, write_rate, size_gb, tier, day_phase};
+  }
+  std::uint8_t action() const {
+    double sum = write_rate + size_gb + tier + day_phase;
+    for (const double r : reads) sum += r;
+    return static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(sum) % pricing::kTierCount);
+  }
+};
+
+OwnedKey make_key(std::uint64_t salt) {
+  OwnedKey key;
+  key.reads.resize(14);
+  for (std::size_t i = 0; i < key.reads.size(); ++i)
+    key.reads[i] = static_cast<double>((salt * 31 + i * 7) % 100);
+  key.write_rate = static_cast<double>(salt % 5);
+  key.size_gb = 1.0 + static_cast<double>(salt % 17);
+  key.tier = static_cast<double>(salt % pricing::kTierCount);
+  key.day_phase = static_cast<double>(salt % 7);
+  return key;
+}
+
+constexpr std::uint64_t kEpoch = 0x1234abcd;
+
+TEST(DecisionCacheTest, MissThenHitRoundTrip) {
+  DecisionCache cache;
+  const OwnedKey key = make_key(1);
+  EXPECT_FALSE(cache.lookup(kEpoch, key.view()).has_value());
+  cache.insert(kEpoch, key.view(), 2);
+  const auto hit = cache.lookup(kEpoch, key.view());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 2);
+  const DecisionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(DecisionCacheTest, KeysCompareByExactBytes) {
+  DecisionCache cache;
+  OwnedKey key = make_key(2);
+  key.reads[3] = 0.0;
+  cache.insert(kEpoch, key.view(), 1);
+
+  // -0.0 == 0.0 numerically but differs in sign bit: the featurizer would
+  // see different input bytes, so the cache must treat it as a new state.
+  OwnedKey negative_zero = key;
+  negative_zero.reads[3] = -0.0;
+  EXPECT_FALSE(cache.lookup(kEpoch, negative_zero.view()).has_value());
+
+  OwnedKey nudged = key;
+  nudged.size_gb += 1e-12;
+  EXPECT_FALSE(cache.lookup(kEpoch, nudged.view()).has_value());
+
+  EXPECT_TRUE(cache.lookup(kEpoch, key.view()).has_value());
+}
+
+TEST(DecisionCacheTest, EpochChangeInvalidates) {
+  DecisionCache cache;
+  const OwnedKey key = make_key(3);
+  cache.insert(kEpoch, key.view(), 1);
+  ASSERT_TRUE(cache.lookup(kEpoch, key.view()).has_value());
+  // A trained/reloaded/reconfigured policy fingerprints differently; the
+  // same state must miss rather than serve the stale action.
+  EXPECT_FALSE(cache.lookup(kEpoch + 1, key.view()).has_value());
+  // The epoch is part of the key, not a global version gate: entries for
+  // different epochs coexist (policies may share one cache) and each epoch
+  // serves only the action recorded under it.
+  cache.insert(kEpoch + 1, key.view(), 0);
+  const auto hit = cache.lookup(kEpoch + 1, key.view());
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0);
+  const auto old_hit = cache.lookup(kEpoch, key.view());
+  ASSERT_TRUE(old_hit.has_value());
+  EXPECT_EQ(*old_hit, 1);
+}
+
+TEST(DecisionCacheTest, ReinsertRefreshesInsteadOfGrowing) {
+  DecisionCache cache;
+  const OwnedKey key = make_key(4);
+  cache.insert(kEpoch, key.view(), 1);
+  cache.insert(kEpoch, key.view(), 1);
+  cache.insert(kEpoch, key.view(), 2);  // last writer wins
+  const DecisionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(*cache.lookup(kEpoch, key.view()), 2);
+}
+
+TEST(DecisionCacheTest, LruEvictsColdestAtCapacity) {
+  DecisionCacheConfig config;
+  config.capacity = 4;
+  config.shards = 1;  // one shard so the LRU order is globally observable
+  DecisionCache cache(config);
+  std::vector<OwnedKey> keys;
+  for (std::uint64_t salt = 0; salt < 4; ++salt) {
+    keys.push_back(make_key(100 + salt));
+    cache.insert(kEpoch, keys.back().view(), keys.back().action());
+  }
+  // Touch the oldest entry so it is no longer the eviction candidate.
+  ASSERT_TRUE(cache.lookup(kEpoch, keys[0].view()).has_value());
+
+  const OwnedKey fifth = make_key(200);
+  cache.insert(kEpoch, fifth.view(), fifth.action());
+
+  EXPECT_TRUE(cache.lookup(kEpoch, keys[0].view()).has_value());
+  EXPECT_FALSE(cache.lookup(kEpoch, keys[1].view()).has_value());
+  EXPECT_TRUE(cache.lookup(kEpoch, fifth.view()).has_value());
+  const DecisionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 4u);
+  EXPECT_EQ(stats.evictions, 1u);
+}
+
+TEST(DecisionCacheTest, ClearDropsEntriesKeepsCounters) {
+  DecisionCache cache;
+  const OwnedKey key = make_key(5);
+  cache.insert(kEpoch, key.view(), 1);
+  ASSERT_TRUE(cache.lookup(kEpoch, key.view()).has_value());
+  cache.clear();
+  const DecisionCacheStats after = cache.stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.resident_bytes, 0u);
+  EXPECT_EQ(after.insertions, 1u);  // history is preserved
+  EXPECT_FALSE(cache.lookup(kEpoch, key.view()).has_value());
+}
+
+TEST(DecisionCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  DecisionCacheConfig config;
+  config.shards = 3;
+  DecisionCache cache(config);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  DecisionCacheConfig one;
+  one.shards = 1;
+  EXPECT_EQ(DecisionCache(one).shard_count(), 1u);
+}
+
+TEST(DecisionCacheTest, DedupAccountingFeedsRatio) {
+  DecisionCache cache;
+  cache.note_dedup(10, 2);
+  cache.note_dedup(6, 2);
+  const DecisionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.dedup_rows, 16u);
+  EXPECT_EQ(stats.dedup_unique_rows, 4u);
+  EXPECT_DOUBLE_EQ(stats.dedup_ratio(), 4.0);
+  EXPECT_DOUBLE_EQ(DecisionCacheStats{}.dedup_ratio(), 1.0);
+}
+
+TEST(DecisionCacheTest, ConcurrentHammerServesOnlyExactActions) {
+  DecisionCacheConfig config;
+  config.capacity = 64;  // small: force constant eviction under contention
+  config.shards = 4;
+  DecisionCache cache(config);
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kOpsPerThread = 5000;
+  constexpr std::uint64_t kKeySpace = 97;
+
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> wrong_actions(kThreads, 0);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+        const OwnedKey key = make_key((t * 31 + i * 7) % kKeySpace);
+        const auto hit = cache.lookup(kEpoch, key.view());
+        if (hit.has_value()) {
+          // Exact-byte keys mean a hit can only ever return the action the
+          // identical state was inserted with, no matter the interleaving.
+          if (*hit != key.action()) ++wrong_actions[t];
+        } else {
+          cache.insert(kEpoch, key.view(), key.action());
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_EQ(wrong_actions[t], 0u) << "thread " << t;
+  const DecisionCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, kThreads * kOpsPerThread);
+  EXPECT_LE(stats.entries, 64u);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+}  // namespace
+}  // namespace minicost::core

@@ -13,6 +13,8 @@
 #include <memory>
 
 #include "core/greedy.hpp"
+#include "core/rl_policy.hpp"
+#include "rl/a3c.hpp"
 #include "store/trace_writer.hpp"
 #include "trace/synthetic.hpp"
 #include "util/thread_pool.hpp"
@@ -201,6 +203,69 @@ TEST_F(PlanDriverTest, ReportsLatencyPercentilesAndTimings) {
   EXPECT_GE(run.file_decide_p99_ns, run.file_decide_p50_ns);
   EXPECT_EQ(run.start_day, 3u);
   EXPECT_EQ(run.policy_name, policy.name());
+}
+
+// The dedup-aware decision cache (DESIGN.md §15) behind the driver: every
+// cell of {cache on, off} x shard sizes x pool sizes must bill the RL
+// policy bit-identically, incremental replans included, and a cache-on run
+// must surface its stats through PlanDriverRun.
+TEST(PlanDriverDecisionCacheTest, OnOffIdenticalAcrossShardsPoolsAndReplans) {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() /
+      ("minicost_plan_driver_cache_" + std::to_string(::getpid()) + ".mct");
+  trace::SyntheticConfig config;
+  config.file_count = 53;  // not a multiple of the shard size
+  config.days = 40;
+  config.seed = 31;
+  config.integral_counts = true;  // Fig. 2-shaped: states actually repeat
+  store::pack_trace(trace::generate_synthetic(config), path);
+  const store::TraceReader reader(path);
+  const pricing::PricingPolicy prices = pricing::PricingPolicy::azure_2020();
+
+  rl::A3CConfig agent_config;
+  agent_config.filters = 8;
+  agent_config.hidden = 8;
+  agent_config.workers = 1;
+  rl::A3CAgent agent(agent_config, 11);
+  RlPolicy policy(agent);
+
+  PlanDriverOptions base;
+  base.start_day = 20;
+
+  base.decision_cache = false;
+  PlanDriver reference_driver(reader, prices, policy, base);
+  const PlanDriverRun reference = reference_driver.run();
+  EXPECT_EQ(reference.cache_stats.hits + reference.cache_stats.misses, 0u);
+
+  for (const std::size_t shard_files : {std::size_t{7}, std::size_t{0}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      util::ThreadPool pool(threads);
+      PlanDriverOptions options = base;
+      options.shard_files = shard_files;
+      options.pool = &pool;
+      options.decision_cache = true;
+      options.decision_cache_capacity = 4096;
+      PlanDriver driver(reader, prices, policy, options);
+      const PlanDriverRun run = driver.run();
+      SCOPED_TRACE("shard_files=" + std::to_string(shard_files) +
+                   " threads=" + std::to_string(threads));
+      expect_identical(run.report, reference.report);
+      EXPECT_GT(run.cache_stats.hits + run.cache_stats.misses, 0u);
+      EXPECT_GT(run.cache_stats.hits, 0u);
+      EXPECT_LE(run.cache_stats.entries, 4096u);
+
+      // Incremental replan against the warm cache: still bit-identical,
+      // and the run-local stats are a delta (all hits on a replay).
+      driver.mark_dirty(10, 5);
+      const PlanDriverRun replan = driver.replan();
+      expect_identical(replan.report, reference.report);
+      EXPECT_GT(replan.cache_stats.hits, 0u);
+      EXPECT_EQ(replan.cache_stats.misses, 0u)
+          << "a warm replay of already-cached states must not miss";
+    }
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
 }
 
 TEST_F(PlanDriverTest, RejectsBadWindows) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "nn/activation.hpp"
 #include "nn/dense.hpp"
 
@@ -144,6 +146,55 @@ TEST(NetworkTest, ForwardBatchMatchesPerRowThroughConvTrunk) {
     const auto expected = net.forward(row);
     for (std::size_t o = 0; o < expected.size(); ++o)
       EXPECT_EQ(batched[b * net.output_size() + o], expected[o]);
+  }
+}
+
+TEST(NetworkTest, ForwardBatchDuplicateRowsProduceByteIdenticalOutputs) {
+  // Dedup support contract (DESIGN.md §15): a row's output depends only on
+  // its bytes, never on its batch position or neighbours — duplicated rows
+  // must come out bit-equal at batch sizes across the chunk boundaries.
+  util::Rng rng(21);
+  Network net = build_trunk(14, 12, 16, 4, 16, 3, rng);
+  util::Rng data(22);
+  std::vector<double> unique_rows(3 * net.input_size());
+  for (double& v : unique_rows) v = data.normal(0.0, 1.0);
+  for (const std::size_t batch : {1u, 2u, 64u}) {
+    std::vector<double> input(batch * net.input_size());
+    for (std::size_t b = 0; b < batch; ++b)
+      std::copy_n(unique_rows.begin() +
+                      static_cast<std::ptrdiff_t>((b % 3) * net.input_size()),
+                  net.input_size(),
+                  input.begin() + static_cast<std::ptrdiff_t>(b * net.input_size()));
+    const auto out = net.forward_batch(input, batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t o = 0; o < net.output_size(); ++o)
+        EXPECT_EQ(out[b * net.output_size() + o],
+                  out[(b % 3) * net.output_size() + o])
+            << "batch=" << batch << " row=" << b << " out=" << o;
+  }
+}
+
+TEST(NetworkTest, ForwardBatchPermutedRowsPermuteTheOutputs) {
+  util::Rng rng(24);
+  Network net = build_trunk(14, 12, 16, 4, 16, 3, rng);
+  util::Rng data(25);
+  for (const std::size_t batch : {1u, 2u, 64u}) {
+    std::vector<double> input(batch * net.input_size());
+    for (double& v : input) v = data.uniform(-1.0, 1.0);
+    std::vector<double> reversed(input.size());
+    for (std::size_t b = 0; b < batch; ++b)
+      std::copy_n(
+          input.begin() + static_cast<std::ptrdiff_t>(b * net.input_size()),
+          net.input_size(),
+          reversed.begin() +
+              static_cast<std::ptrdiff_t>((batch - 1 - b) * net.input_size()));
+    const auto forward = net.forward_batch(input, batch);
+    const auto backward = net.forward_batch(reversed, batch);
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t o = 0; o < net.output_size(); ++o)
+        EXPECT_EQ(backward[(batch - 1 - b) * net.output_size() + o],
+                  forward[b * net.output_size() + o])
+            << "batch=" << batch << " row=" << b << " out=" << o;
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -143,6 +144,103 @@ TEST(A3CAgentTest, ActBatchIsPoolSizeIndependent) {
   const auto serial = agent.act_batch(trace.files(), 20, current, true, &one);
   const auto sharded = agent.act_batch(trace.files(), 20, current, true, &many);
   EXPECT_EQ(serial, sharded);
+}
+
+// The decision-cache/dedup contract (DESIGN.md §15): identical feature rows
+// must decide identically wherever they sit in a batch, and reordering a
+// batch must permute the decisions with it — at batch sizes on both sides
+// of the forward-chunk boundary.
+TEST(A3CAgentTest, DuplicateRowsDecideIdenticallyAtEveryBatchSize) {
+  A3CAgent agent(tiny_config(), 4);
+  const trace::RequestTrace trace = small_trace();
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{64}}) {
+    std::vector<trace::FileRecord> files;
+    std::vector<pricing::StorageTier> current;
+    for (std::size_t i = 0; i < batch; ++i) {
+      files.push_back(trace.file(i % 3));  // every 3rd row is a duplicate
+      current.push_back(pricing::StorageTier::kCool);
+    }
+    for (const bool greedy : {true, false}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) +
+                   " greedy=" + std::to_string(greedy));
+      const auto actions = agent.act_batch(files, 20, current, greedy);
+      ASSERT_EQ(actions.size(), batch);
+      for (std::size_t i = 0; i < batch; ++i)
+        EXPECT_EQ(actions[i], actions[i % 3]) << "row " << i;
+    }
+  }
+}
+
+TEST(A3CAgentTest, PermutedBatchPermutesTheDecisions) {
+  A3CAgent agent(tiny_config(), 4);
+  const trace::RequestTrace trace = small_trace(64);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{64}}) {
+    std::vector<trace::FileRecord> files;
+    const std::vector<pricing::StorageTier> current(
+        batch, pricing::StorageTier::kHot);
+    for (std::size_t i = 0; i < batch; ++i) files.push_back(trace.file(i));
+    const auto forward = agent.act_batch(files, 20, current, true);
+
+    std::vector<trace::FileRecord> reversed(files.rbegin(), files.rend());
+    const auto backward = agent.act_batch(reversed, 20, current, true);
+    ASSERT_EQ(backward.size(), batch);
+    for (std::size_t i = 0; i < batch; ++i)
+      EXPECT_EQ(backward[i], forward[batch - 1 - i]) << "row " << i;
+  }
+}
+
+TEST(A3CAgentTest, ActFeaturesBatchMatchesActBatchOnEncodedRows) {
+  A3CAgent agent(tiny_config(), 4);
+  const trace::RequestTrace trace = small_trace();
+  const std::size_t width = agent.featurizer().feature_count();
+  util::ThreadPool pool(4);
+  for (const std::size_t batch :
+       {std::size_t{1}, std::size_t{2}, std::size_t{64}}) {
+    std::vector<trace::FileRecord> files;
+    std::vector<pricing::StorageTier> current;
+    std::vector<double> rows(batch * width);
+    for (std::size_t i = 0; i < batch; ++i) {
+      files.push_back(trace.file(i % 5));  // duplicates in the row buffer too
+      current.push_back(pricing::StorageTier::kHot);
+      const auto features =
+          agent.featurizer().encode(files[i], 20, current[i]);
+      std::copy(features.begin(), features.end(),
+                rows.begin() + static_cast<std::ptrdiff_t>(i * width));
+    }
+    const auto reference = agent.act_batch(files, 20, current, true);
+    const auto serial = agent.act_features_batch(rows, batch, true);
+    const auto pooled = agent.act_features_batch(rows, batch, true, &pool);
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    EXPECT_EQ(serial, reference);
+    EXPECT_EQ(pooled, reference);
+  }
+}
+
+TEST(A3CAgentTest, ActFeaturesBatchValidatesRowBufferWidth) {
+  A3CAgent agent(tiny_config(), 4);
+  const std::size_t width = agent.featurizer().feature_count();
+  const std::vector<double> rows(width * 2 + 1);  // not a whole row count
+  EXPECT_THROW(agent.act_features_batch(rows, 2, true),
+               std::invalid_argument);
+}
+
+TEST(A3CAgentTest, DecisionFingerprintTracksParamsAndMode) {
+  A3CAgent agent(tiny_config(), 4);
+  const std::uint64_t greedy_a = agent.decision_fingerprint(true);
+  EXPECT_EQ(greedy_a, agent.decision_fingerprint(true)) << "must be stable";
+  EXPECT_NE(greedy_a, agent.decision_fingerprint(false))
+      << "sampling decides differently, so it must fingerprint differently";
+  A3CAgent other(tiny_config(), 5);  // different parameters
+  EXPECT_NE(greedy_a, other.decision_fingerprint(true));
+
+  TrainOptions options;
+  options.episodes = 4;
+  options.report_every = 4;
+  agent.train(small_trace(), pricing::PricingPolicy::azure_2020(), options);
+  EXPECT_NE(greedy_a, agent.decision_fingerprint(true))
+      << "training moved the parameters; cached decisions must invalidate";
 }
 
 TEST(A3CAgentTest, ActBatchValidatesWidths) {

@@ -96,6 +96,25 @@ class BenchDiffTest(unittest.TestCase):
         self.assertEqual(bench_diff.direction("incremental_speedup"),
                          "higher")
         self.assertEqual(bench_diff.direction("file_decide_p99_ns"), "lower")
+        # Reuse/compression quality metrics: at fixed seed/scale a lower hit
+        # rate or dedup ratio means the cache got worse, not noisier.
+        self.assertEqual(bench_diff.direction("hit_rate"), "higher")
+        self.assertEqual(bench_diff.direction("hit_rate_low"), "info")
+        self.assertEqual(bench_diff.direction("dedup_ratio"), "higher")
+        self.assertEqual(bench_diff.direction("codec.delta.ratio_vs_v1"),
+                         "info")
+
+    def test_hit_rate_drop_fails(self):
+        baseline = report(metrics={"hit_rate": 0.80, "dedup_ratio": 4.0})
+        current = report(metrics={"hit_rate": 0.10, "dedup_ratio": 4.0})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 1)
+
+    def test_dedup_ratio_growth_passes(self):
+        baseline = report(metrics={"dedup_ratio": 4.0})
+        current = report(metrics={"dedup_ratio": 9.0})
+        code, _, _ = self.run_tool(baseline, current)
+        self.assertEqual(code, 0)
 
     # --- the acceptance criterion: injected regression fails -----------
 

@@ -11,7 +11,10 @@ gates on.
                   [--summary-md PATH] [--fail-on-counter-change]
 
 Improvement direction is inferred from the metric name:
-  * ``*_per_sec``, ``*speedup``     — higher is better
+  * ``*_per_sec``, ``*speedup``,
+    ``*_rate``, ``*_ratio``         — higher is better (hit rates, dedup
+    and compression ratios: shrinking reuse or compressibility at fixed
+    seed/scale is a real regression, not jitter)
   * ``*_sum_seconds``               — informational: summed per-shard CPU
     time is not a wall-clock signal when shard I/O overlaps planning (the
     pipelined driver can raise the sum while lowering the wall)
@@ -49,7 +52,7 @@ import sys
 
 SCHEMA_VERSION = 1
 
-HIGHER_BETTER_SUFFIXES = ("_per_sec", "per_sec", "speedup")
+HIGHER_BETTER_SUFFIXES = ("_per_sec", "per_sec", "speedup", "_rate", "_ratio")
 LOWER_BETTER_SUFFIXES = ("_seconds", "_ns", "_mib", "_bytes")
 # Checked before LOWER_BETTER: a summed-over-shards CPU time legitimately
 # grows when overlap shortens the wall clock.

@@ -18,12 +18,15 @@
 #include <memory>
 #include <sstream>
 
+#include "core/decision_cache.hpp"
 #include "core/forecast_policy.hpp"
 #include "core/greedy.hpp"
 #include "core/optimal.hpp"
 #include "core/plan_driver.hpp"
 #include "core/planner.hpp"
+#include "core/rl_policy.hpp"
 #include "core/serve_command.hpp"
+#include "obs/metrics.hpp"
 #include "obs/run_report.hpp"
 #include "sim/cost_model.hpp"
 #include "store/trace_reader.hpp"
@@ -109,13 +112,35 @@ int cmd_analyze(int argc, const char* const* argv) {
   return 0;
 }
 
-std::unique_ptr<core::TieringPolicy> make_policy(const std::string& which) {
+/// How `--policy rl` builds its agent: a checkpoint when given, otherwise a
+/// fresh deterministic initialization from --agent-seed (untrained, but it
+/// runs the full featurize/forward pipeline — what the decision-cache
+/// smokes and benches exercise).
+struct RlCliOptions {
+  std::string checkpoint;
+  std::uint64_t seed = 1234;
+};
+
+std::unique_ptr<core::TieringPolicy> make_policy(const std::string& which,
+                                                 const RlCliOptions& rl = {}) {
   if (which == "hot") return core::make_hot_policy();
   if (which == "cold") return core::make_cold_policy();
   if (which == "greedy") return std::make_unique<core::GreedyPolicy>();
   if (which == "mpc") return std::make_unique<core::ForecastMpcPolicy>();
   if (which == "optimal") return std::make_unique<core::OptimalPolicy>();
+  if (which == "rl") {
+    core::RlPolicyOptions options;
+    options.seed = rl.seed;
+    options.checkpoint = rl.checkpoint;
+    return core::make_rl_policy(options);
+  }
   return nullptr;
+}
+
+/// Name check without constructing (an rl policy builds a whole agent).
+bool known_policy(const std::string& which) {
+  return which == "hot" || which == "cold" || which == "greedy" ||
+         which == "mpc" || which == "optimal" || which == "rl";
 }
 
 std::vector<std::string> split_list(const std::string& text) {
@@ -186,6 +211,7 @@ void print_run(const core::PlanDriverRun& run, const store::TraceReader& reader,
 struct DriverConfig {
   core::PlanDriverOptions options;
   std::vector<std::string> policies;  ///< sweep set; front() = current
+  RlCliOptions rl;                    ///< agent source for --policy rl
 };
 
 /// Resident serve loop: line commands on stdin drive a warm PlanDriver per
@@ -201,7 +227,7 @@ int serve_loop(const store::TraceReader& reader,
       [&](const std::string& name) -> core::PlanDriver* {
     auto it = drivers.find(name);
     if (it != drivers.end()) return it->second.get();
-    std::unique_ptr<core::TieringPolicy> policy = make_policy(name);
+    std::unique_ptr<core::TieringPolicy> policy = make_policy(name, config.rl);
     if (policy == nullptr) return nullptr;
     auto driver = std::make_unique<core::PlanDriver>(reader, prices, *policy,
                                                      config.options);
@@ -255,7 +281,7 @@ int serve_loop(const store::TraceReader& reader,
                       << std::endl;
           break;
         case Kind::kPolicy:
-          if (make_policy(cmd.name) == nullptr) {
+          if (!known_policy(cmd.name)) {
             std::cout << "error,unknown policy " << cmd.name << std::endl;
             break;
           }
@@ -277,6 +303,25 @@ int serve_loop(const store::TraceReader& reader,
                     << ",shards=" << (driver ? driver->shard_count() : 0)
                     << ",dirty=" << (driver ? driver->dirty_shard_count() : 0)
                     << ",warm_policies=" << drivers.size() << std::endl;
+          if (driver != nullptr && driver->decision_cache() != nullptr) {
+            const core::DecisionCacheStats cs =
+                driver->decision_cache()->stats();
+            char buf[256];
+            std::snprintf(buf, sizeof buf,
+                          "cache,hits=%" PRIu64 ",misses=%" PRIu64
+                          ",hit_rate=%.4f,entries=%" PRIu64
+                          ",evictions=%" PRIu64 ",dedup_ratio=%.4f"
+                          ",bytes=%" PRIu64,
+                          cs.hits, cs.misses, cs.hit_rate(), cs.entries,
+                          cs.evictions, cs.dedup_ratio(), cs.resident_bytes);
+            std::cout << buf << std::endl;
+          }
+          // A LIVE registry snapshot each call — counters registered after
+          // driver construction (e.g. core.cache.* on the first cached
+          // plan) show up as soon as they exist.
+          for (const auto& snapshot : obs::Registry::global().counters())
+            std::cout << "counter," << snapshot.name << "," << snapshot.value
+                      << std::endl;
           break;
         }
         case Kind::kHelp:
@@ -311,7 +356,7 @@ int cmd_plan_store(const util::Cli& cli) {
     return 1;
   }
   for (const std::string& name : config.policies)
-    if (make_policy(name) == nullptr) {
+    if (!known_policy(name)) {
       std::cerr << "plan: unknown policy '" << name << "'\n";
       return 1;
     }
@@ -328,6 +373,27 @@ int cmd_plan_store(const util::Cli& cli) {
               << cli.integer("prefetch-depth") << "\n";
     return 1;
   }
+  const std::string decision_cache = cli.str("decision-cache");
+  if (decision_cache != "on" && decision_cache != "off") {
+    std::cerr << "plan: --decision-cache must be on or off, got '"
+              << decision_cache << "'\n";
+    return 1;
+  }
+  if (cli.integer("cache-capacity") < 0) {
+    std::cerr << "plan: --cache-capacity must be >= 0 (0 = default), got "
+              << cli.integer("cache-capacity") << "\n";
+    return 1;
+  }
+  if (cli.integer("agent-seed") < 0) {
+    std::cerr << "plan: --agent-seed must be >= 0, got "
+              << cli.integer("agent-seed") << "\n";
+    return 1;
+  }
+  config.options.decision_cache = decision_cache == "on";
+  config.options.decision_cache_capacity =
+      static_cast<std::size_t>(cli.integer("cache-capacity"));
+  config.rl.checkpoint = cli.str("agent");
+  config.rl.seed = static_cast<std::uint64_t>(cli.integer("agent-seed"));
   config.options.shard_files =
       static_cast<std::size_t>(cli.integer("shard-files"));
   config.options.start_day =
@@ -359,7 +425,7 @@ int cmd_plan_store(const util::Cli& cli) {
       return 1;
     }
     std::unique_ptr<core::TieringPolicy> policy =
-        make_policy(config.policies.front());
+        make_policy(config.policies.front(), config.rl);
     core::PlanDriver driver(reader, prices, *policy, config.options);
     const core::PlanDriverRun full = driver.run();
     driver.mark_dirty(first, count);
@@ -383,7 +449,7 @@ int cmd_plan_store(const util::Cli& cli) {
                      "decide-sum s", "p50 ns", "p99 ns", "total"});
   core::PlanDriverRun last;
   for (const std::string& name : config.policies) {
-    std::unique_ptr<core::TieringPolicy> policy = make_policy(name);
+    std::unique_ptr<core::TieringPolicy> policy = make_policy(name, config.rl);
     for (const std::size_t shard_files : shard_sizes) {
       core::PlanDriverOptions options = config.options;
       options.shard_files = shard_files;
@@ -435,7 +501,16 @@ int cmd_plan(int argc, const char* const* argv) {
                 "bill tiering policies over a trace (.csv in-memory, .mct "
                 "through the pipelined PlanDriver)");
   cli.add_flag("policy", "optimal",
-               "hot | cold | greedy | optimal | mpc (comma list sweeps)");
+               "hot | cold | greedy | optimal | mpc | rl (comma list sweeps)");
+  cli.add_flag("agent", "",
+               "A3C checkpoint for --policy rl (empty = fresh "
+               "deterministic init from --agent-seed)");
+  cli.add_flag("agent-seed", "1234", "init seed for --policy rl");
+  cli.add_flag("decision-cache", "off",
+               "on | off — reuse decisions across days/shards via the "
+               "exact-key DecisionCache (bit-identical bills either way)");
+  cli.add_flag("cache-capacity", "0",
+               "decision-cache entry capacity (0 = default)");
   cli.add_flag("start", "0", "first billed day (default: last 35 days)");
   cli.add_flag("preset", "azure", "price preset");
   cli.add_flag("shard-files", "65536", ".mct files per shard (0 = one shard)");
@@ -475,10 +550,23 @@ int cmd_plan(int argc, const char* const* argv) {
   options.initial_tiers =
       core::static_initial_tiers(tr, prices, options.start_day);
 
-  std::unique_ptr<core::TieringPolicy> policy = make_policy(cli.str("policy"));
+  RlCliOptions rl;
+  rl.checkpoint = cli.str("agent");
+  rl.seed = static_cast<std::uint64_t>(cli.integer("agent-seed"));
+  std::unique_ptr<core::TieringPolicy> policy =
+      make_policy(cli.str("policy"), rl);
   if (policy == nullptr) {
     std::cerr << "plan: unknown policy '" << cli.str("policy") << "'\n";
     return 1;
+  }
+  std::unique_ptr<core::DecisionCache> cache;
+  if (cli.str("decision-cache") == "on") {
+    core::DecisionCacheConfig cache_config;
+    if (cli.integer("cache-capacity") > 0)
+      cache_config.capacity =
+          static_cast<std::size_t>(cli.integer("cache-capacity"));
+    cache = std::make_unique<core::DecisionCache>(cache_config);
+    options.decision_cache = cache.get();
   }
 
   const core::PlanResult result = core::run_policy(tr, prices, *policy, options);

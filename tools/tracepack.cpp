@@ -278,24 +278,37 @@ int cmd_eval(int argc, const char* const* argv) {
 
   int exit_code = 0;
   bool compared_identical = true;
+  // The comparison must not be able to lose the run report below: the
+  // sharded numbers above are already measured, and a CI triage of a
+  // comparison failure needs exactly that artifact. Any throw here (the
+  // monolithic materialize is the one allocation-heavy step in this
+  // command) downgrades to a failed comparison instead of propagating.
   if (cli.boolean("compare")) {
-    const trace::RequestTrace tr = reader.materialize();
-    core::PlanOptions mono;
-    mono.start_day = options.start_day;
-    mono.initial_tiers = core::static_initial_tiers(tr, prices, mono.start_day);
-    const core::PlanResult reference =
-        core::run_policy(tr, prices, *policy, mono);
-    const auto& a = sharded.report.grand_total();
-    const auto& b = reference.report.grand_total();
-    bool identical = std::memcmp(&a, &b, sizeof a) == 0 &&
-                     sharded.report.tier_changes() ==
-                         reference.report.tier_changes();
-    for (std::size_t f = 0; identical && f < tr.file_count(); ++f)
-      identical = sharded.report.file_total(f) == reference.report.file_total(f);
-    std::cout << "monolithic comparison: "
-              << (identical ? "byte-identical" : "MISMATCH") << "\n";
-    compared_identical = identical;
-    exit_code = identical ? 0 : 1;
+    try {
+      const trace::RequestTrace tr = reader.materialize();
+      core::PlanOptions mono;
+      mono.start_day = options.start_day;
+      mono.initial_tiers =
+          core::static_initial_tiers(tr, prices, mono.start_day);
+      const core::PlanResult reference =
+          core::run_policy(tr, prices, *policy, mono);
+      const auto& a = sharded.report.grand_total();
+      const auto& b = reference.report.grand_total();
+      bool identical = std::memcmp(&a, &b, sizeof a) == 0 &&
+                       sharded.report.tier_changes() ==
+                           reference.report.tier_changes();
+      for (std::size_t f = 0; identical && f < tr.file_count(); ++f)
+        identical =
+            sharded.report.file_total(f) == reference.report.file_total(f);
+      std::cout << "monolithic comparison: "
+                << (identical ? "byte-identical" : "MISMATCH") << "\n";
+      compared_identical = identical;
+    } catch (const std::exception& error) {
+      std::cerr << "eval: monolithic comparison failed: " << error.what()
+                << "\n";
+      compared_identical = false;
+    }
+    exit_code = compared_identical ? 0 : 1;
   }
 
   // Run report for the CI perf gate: eval wall time, decision time, and
